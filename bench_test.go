@@ -1,0 +1,60 @@
+package mixnet
+
+// Benchmark harness: one testing.B target per paper table/figure plus the
+// DESIGN.md ablations. Each bench regenerates the artifact at Quick scale
+// (use cmd/mixnet-bench -full for paper-scale dimensions) and reports the
+// rendered rows through b.Log on -v.
+
+import (
+	"testing"
+
+	"mixnet/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.String())
+		}
+	}
+}
+
+func BenchmarkTab1Configs(b *testing.B)      { benchExperiment(b, "tab1") }
+func BenchmarkTab2OCSCatalog(b *testing.B)   { benchExperiment(b, "tab2") }
+func BenchmarkTab4Prices(b *testing.B)       { benchExperiment(b, "tab4") }
+func BenchmarkFig2TrafficShare(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig3Timeline(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4Dynamics(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5Locality(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig10Testbed(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11Cost(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12Speed(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13Pareto(b *testing.B)      { benchExperiment(b, "fig13") }
+func BenchmarkFig14Failure(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig16NVL72(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17Timelines(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18Converged(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19Copilot(b *testing.B)     { benchExperiment(b, "fig19") }
+func BenchmarkFig21ReconfigCDF(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig22NICActivation(b *testing.B) {
+	benchExperiment(b, "fig22_23")
+}
+func BenchmarkFig24LinkOptions(b *testing.B)   { benchExperiment(b, "fig24") }
+func BenchmarkFig25LargeBatch(b *testing.B)    { benchExperiment(b, "fig25") }
+func BenchmarkFig26Scalability(b *testing.B)   { benchExperiment(b, "fig26") }
+func BenchmarkFig27OpticalDegree(b *testing.B) { benchExperiment(b, "fig27") }
+func BenchmarkFig28ReconfigLatency(b *testing.B) {
+	benchExperiment(b, "fig28")
+}
+func BenchmarkAblationGreedyVsUniform(b *testing.B) { benchExperiment(b, "abl_greedy") }
+func BenchmarkAblationFirstA2A(b *testing.B)        { benchExperiment(b, "abl_firsta2a") }
+func BenchmarkAblationRegionalVsGlobal(b *testing.B) {
+	benchExperiment(b, "abl_regional")
+}
+func BenchmarkAblationNUMAPermute(b *testing.B)   { benchExperiment(b, "abl_numa") }
+func BenchmarkAblationFluidVsPacket(b *testing.B) { benchExperiment(b, "abl_fluid") }

@@ -1,0 +1,48 @@
+// mixnet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mixnet-bench                 # all experiments, quick sizing
+//	mixnet-bench -full           # paper-scale dimensions (slow)
+//	mixnet-bench -only fig12     # a single experiment
+//	mixnet-bench -list           # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mixnet"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "paper-scale dimensions (slow)")
+		only = flag.String("only", "", "run a single experiment id")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range mixnet.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := mixnet.ExperimentIDs()
+	if *only != "" {
+		ids = []string{*only}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := mixnet.Experiment(id, *full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,58 @@
+// mixnet-cost prices the evaluated fabrics across cluster sizes and link
+// bandwidths with the paper's Table 4 cost model (Figure 11 style).
+//
+// Usage:
+//
+//	mixnet-cost -gbps 400 -servers 128,512,1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mixnet"
+)
+
+func main() {
+	var (
+		gbps    = flag.Int("gbps", 400, "link bandwidth: 100|200|400|800")
+		servers = flag.String("servers", "128,512,1024", "comma-separated server counts (8 GPUs each)")
+	)
+	flag.Parse()
+
+	fabrics := []struct {
+		name string
+		kind mixnet.Fabric
+	}{
+		{"Fat-tree", mixnet.FatTree},
+		{"Rail-optimized", mixnet.RailOptimized},
+		{"OverSub. Fat-tree", mixnet.OverSubFatTree},
+		{"TopoOpt", mixnet.TopoOpt},
+		{"MixNet", mixnet.MixNet},
+	}
+	fmt.Printf("%-8s %-8s", "GPUs", "Gbps")
+	for _, f := range fabrics {
+		fmt.Printf(" %-18s", f.name)
+	}
+	fmt.Println()
+	for _, field := range strings.Split(*servers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad server count %q: %v\n", field, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%-8d %-8d", n*8, *gbps)
+		for _, f := range fabrics {
+			bd, err := mixnet.NetworkCost(f.kind, n, *gbps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" $%-17.2fM", bd.Total()/1e6)
+		}
+		fmt.Println()
+	}
+}

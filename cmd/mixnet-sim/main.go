@@ -1,0 +1,69 @@
+// mixnet-sim runs one distributed MoE training simulation on a chosen
+// fabric and prints per-iteration timing.
+//
+// Usage:
+//
+//	mixnet-sim -model "Mixtral 8x7B" -fabric mixnet -gbps 100 -iters 3 -mode copilot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mixnet"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
+		fabric = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
+		gbps   = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
+		dp     = flag.Int("dp", 1, "data-parallel replicas")
+		iters  = flag.Int("iters", 3, "iterations to simulate")
+		mode   = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
+		delay  = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
+		seed   = flag.Int64("seed", 1, "gate random seed")
+		list   = flag.Bool("list", false, "list models and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, m := range mixnet.ListModels() {
+			fmt.Println(m)
+		}
+		return
+	}
+	kinds := map[string]mixnet.Fabric{
+		"fat-tree": mixnet.FatTree,
+		"oversub":  mixnet.OverSubFatTree,
+		"rail":     mixnet.RailOptimized,
+		"topoopt":  mixnet.TopoOpt,
+		"mixnet":   mixnet.MixNet,
+	}
+	kind, ok := kinds[strings.ToLower(*fabric)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabric)
+		os.Exit(2)
+	}
+	res, err := mixnet.Simulate(mixnet.SimConfig{
+		Model: *model, Fabric: kind, LinkGbps: *gbps, DP: *dp,
+		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
+		Iterations: *iters, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps\n",
+		*model, kind, res.GPUs, res.Servers, *gbps)
+	fmt.Printf("%-5s %-10s %-10s %-10s %-10s %-10s %s\n",
+		"iter", "time(s)", "a2a(s)", "comp(s)", "blocked(s)", "dp(s)", "reconfigs")
+	for _, s := range res.Stats {
+		fmt.Printf("%-5d %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f %d\n",
+			s.Iter, s.Time, s.A2A, s.Compute, s.Blocked, s.DPTime, s.Reconfigs)
+	}
+	fmt.Printf("mean iteration time: %.3fs (A2A fraction %.0f%%)\n",
+		res.MeanIterTime, res.Stats[len(res.Stats)-1].A2AFraction()*100)
+}

@@ -1,0 +1,139 @@
+// Package core wires MixNet's runtime components together — the Figure 7
+// system: an all-to-all traffic monitor (§5.1) feeding decentralised
+// per-region topology controllers (§5.2) that reconfigure each regional
+// OCS, with the collective communication manager (§5.3) compiled in
+// internal/collective. The training engine (internal/trainsim) drives one
+// representative region per iteration; Runtime manages every region of a
+// cluster for applications that orchestrate regions themselves.
+package core
+
+import (
+	"fmt"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/ocs"
+	"mixnet/internal/topo"
+)
+
+// TrafficMonitor tracks per-region all-to-all demand with an exponentially
+// weighted moving average — the runtime's view of "recent traffic demands"
+// collected from the host servers (§4.2). The monitor piggybacks on gate
+// output, so it adds no measurement traffic (§5.1).
+type TrafficMonitor struct {
+	// Alpha is the EWMA weight of the newest observation.
+	Alpha   float64
+	demands map[int]*metrics.Matrix
+}
+
+// NewTrafficMonitor creates a monitor with the given EWMA weight
+// (0 < alpha <= 1; 1 keeps only the latest observation).
+func NewTrafficMonitor(alpha float64) (*TrafficMonitor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %v outside (0,1]", alpha)
+	}
+	return &TrafficMonitor{Alpha: alpha, demands: map[int]*metrics.Matrix{}}, nil
+}
+
+// Record folds one observed demand matrix into a region's running average.
+func (m *TrafficMonitor) Record(region int, demand *metrics.Matrix) error {
+	cur, ok := m.demands[region]
+	if !ok {
+		m.demands[region] = demand.Clone()
+		return nil
+	}
+	if cur.Rows != demand.Rows || cur.Cols != demand.Cols {
+		return fmt.Errorf("core: region %d demand shape changed %dx%d -> %dx%d",
+			region, cur.Rows, cur.Cols, demand.Rows, demand.Cols)
+	}
+	a := m.Alpha
+	for i := range cur.Data {
+		cur.Data[i] = (1-a)*cur.Data[i] + a*demand.Data[i]
+	}
+	return nil
+}
+
+// Demand returns the region's smoothed demand, or nil if never recorded.
+func (m *TrafficMonitor) Demand(region int) *metrics.Matrix {
+	d, ok := m.demands[region]
+	if !ok {
+		return nil
+	}
+	return d.Clone()
+}
+
+// Regions lists regions with recorded demand.
+func (m *TrafficMonitor) Regions() []int {
+	out := make([]int, 0, len(m.demands))
+	for r := range m.demands {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Runtime owns one controller per region of a MixNet cluster plus the
+// shared traffic monitor. There is deliberately no central controller: each
+// region plans independently (§4.2's control-plane scalability argument).
+type Runtime struct {
+	Cluster     *topo.Cluster
+	Monitor     *TrafficMonitor
+	Controllers []*ocs.Controller
+}
+
+// NewRuntime builds the runtime for a cluster with regional OCS domains.
+func NewRuntime(c *topo.Cluster, dev *ocs.Device) (*Runtime, error) {
+	if len(c.Regions) == 0 {
+		return nil, fmt.Errorf("core: cluster %v has no reconfigurable regions", c.Kind)
+	}
+	mon, err := NewTrafficMonitor(0.5)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{Cluster: c, Monitor: mon}
+	for r := range c.Regions {
+		rt.Controllers = append(rt.Controllers, ocs.NewController(c, r, dev))
+	}
+	return rt, nil
+}
+
+// Observe records a region's latest server-level demand matrix (local
+// region indices).
+func (rt *Runtime) Observe(region int, serverDemand *metrics.Matrix) error {
+	if region < 0 || region >= len(rt.Controllers) {
+		return fmt.Errorf("core: region %d out of range", region)
+	}
+	return rt.Monitor.Record(region, serverDemand)
+}
+
+// ReconfigureRegion plans from the monitor's smoothed demand and applies
+// the circuits, returning the reconfiguration delay.
+func (rt *Runtime) ReconfigureRegion(region int) (float64, error) {
+	if region < 0 || region >= len(rt.Controllers) {
+		return 0, fmt.Errorf("core: region %d out of range", region)
+	}
+	d := rt.Monitor.Demand(region)
+	if d == nil {
+		return 0, fmt.Errorf("core: region %d has no recorded demand", region)
+	}
+	ct := rt.Controllers[region]
+	pairs, err := ct.Plan(d)
+	if err != nil {
+		return 0, err
+	}
+	return ct.Apply(pairs)
+}
+
+// ReconfigureAll reconfigures every region with recorded demand. Regions
+// reconfigure in parallel in hardware, so the returned delay is the max.
+func (rt *Runtime) ReconfigureAll() (float64, error) {
+	var max float64
+	for _, r := range rt.Monitor.Regions() {
+		d, err := rt.ReconfigureRegion(r)
+		if err != nil {
+			return max, err
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

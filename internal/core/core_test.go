@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/ocs"
+	"mixnet/internal/topo"
+)
+
+func TestNewTrafficMonitorValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewTrafficMonitor(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+	if _, err := NewTrafficMonitor(1); err != nil {
+		t.Errorf("alpha 1 rejected: %v", err)
+	}
+}
+
+func TestMonitorEWMA(t *testing.T) {
+	m, _ := NewTrafficMonitor(0.5)
+	d1 := metrics.NewMatrix(2, 2)
+	d1.Set(0, 1, 100)
+	if err := m.Record(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	d2 := metrics.NewMatrix(2, 2)
+	d2.Set(0, 1, 200)
+	if err := m.Record(0, d2); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Demand(0).At(0, 1)
+	if math.Abs(got-150) > 1e-9 {
+		t.Errorf("EWMA = %v, want 150", got)
+	}
+	// Demand returns a copy.
+	m.Demand(0).Set(0, 1, 0)
+	if m.Demand(0).At(0, 1) != got {
+		t.Error("Demand leaked internal storage")
+	}
+}
+
+func TestMonitorShapeChangeRejected(t *testing.T) {
+	m, _ := NewTrafficMonitor(0.5)
+	m.Record(0, metrics.NewMatrix(2, 2))
+	if err := m.Record(0, metrics.NewMatrix(3, 3)); err == nil {
+		t.Error("shape change accepted")
+	}
+}
+
+func TestMonitorUnknownRegion(t *testing.T) {
+	m, _ := NewTrafficMonitor(0.5)
+	if m.Demand(7) != nil {
+		t.Error("unknown region returned demand")
+	}
+	if len(m.Regions()) != 0 {
+		t.Error("empty monitor lists regions")
+	}
+}
+
+func newRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	c := topo.BuildMixNet(topo.DefaultSpec(16, 100*topo.Gbps)) // 2 regions
+	rt, err := NewRuntime(c, ocs.NewFixedDevice(25e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRuntimePerRegionControllers(t *testing.T) {
+	rt := newRuntime(t)
+	if len(rt.Controllers) != 2 {
+		t.Fatalf("controllers = %d, want 2 (one per region)", len(rt.Controllers))
+	}
+}
+
+func TestRuntimeRejectsStaticFabric(t *testing.T) {
+	c := topo.BuildFatTree(topo.DefaultSpec(8, 100*topo.Gbps))
+	if _, err := NewRuntime(c, nil); err == nil {
+		t.Error("fat-tree accepted by runtime")
+	}
+}
+
+func TestRuntimeObserveReconfigure(t *testing.T) {
+	rt := newRuntime(t)
+	d := metrics.NewMatrix(8, 8)
+	d.Set(0, 1, 1e9)
+	if err := rt.Observe(0, d); err != nil {
+		t.Fatal(err)
+	}
+	delay, err := rt.ReconfigureRegion(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay != 25e-3 {
+		t.Errorf("delay = %v, want 25ms", delay)
+	}
+	// Hot pair must hold circuits now.
+	if got := len(rt.Cluster.RegionCircuitTable(0)[[2]int{0, 1}]); got == 0 {
+		t.Error("hot pair got no circuits")
+	}
+	// Regions are independent: region 1 untouched by region-0 plan.
+	if err := rt.Observe(1, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.ReconfigureAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeReconfigureUnknownRegion(t *testing.T) {
+	rt := newRuntime(t)
+	if _, err := rt.ReconfigureRegion(0); err == nil {
+		t.Error("reconfigure without demand accepted")
+	}
+	if _, err := rt.ReconfigureRegion(9); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+	if err := rt.Observe(9, metrics.NewMatrix(8, 8)); err == nil {
+		t.Error("observe out-of-range region accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package cost
+
+import (
+	"testing"
+
+	"mixnet/internal/topo"
+)
+
+func TestTable4Rows(t *testing.T) {
+	tbl := Table4()
+	if len(tbl) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl))
+	}
+	// Spot-check against the paper's Table 4.
+	if tbl[100].Transceiver != 99 || tbl[100].NIC != 659 || tbl[100].ElecPort != 187 {
+		t.Errorf("100G row wrong: %+v", tbl[100])
+	}
+	if tbl[400].ElecPort != 1090 || tbl[800].NIC != 2248 {
+		t.Error("400/800G rows wrong")
+	}
+	// OCS and patch ports are bandwidth-independent.
+	for g, p := range tbl {
+		if p.OCSPort != 520 || p.PatchPort != 100 {
+			t.Errorf("%dG optical port prices wrong: %+v", g, p)
+		}
+	}
+}
+
+func TestPricesForUnknown(t *testing.T) {
+	if _, err := PricesFor(123); err == nil {
+		t.Error("expected error for unknown bandwidth")
+	}
+}
+
+func TestComputeSimpleBOM(t *testing.T) {
+	bom := topo.BOM{
+		NICs: 10, TorPorts: 10, ServerTorLinks: 10,
+	}
+	p := Prices{Transceiver: 100, NIC: 500, ElecPort: 200, Fiber: 10, DAC: 50, AOC: 80}
+	fiber := Compute(bom, p, LinkFiber)
+	// 10 NICs*500 + 10 ports*200 + 20 transceivers*100 + 10 fibers*10.
+	if fiber.Total() != 5000+2000+2000+100 {
+		t.Errorf("fiber total = %v, want 9100", fiber.Total())
+	}
+	dac := Compute(bom, p, LinkDAC)
+	if dac.Total() != 5000+2000+500 {
+		t.Errorf("DAC total = %v, want 7500", dac.Total())
+	}
+	aoc := Compute(bom, p, LinkAOC)
+	if aoc.Total() != 5000+2000+800 {
+		t.Errorf("AOC total = %v, want 7800", aoc.Total())
+	}
+	if !(dac.Total() < aoc.Total() && aoc.Total() < fiber.Total()) {
+		t.Error("expected DAC < AOC < fiber ordering")
+	}
+}
+
+func TestMixNetCheaperThanFatTreeAtScale(t *testing.T) {
+	// Figure 11's headline: MixNet's OCS fabric undercuts the fat-tree,
+	// and the gap grows with link bandwidth.
+	for _, servers := range []int{128, 512} {
+		ft400, err := FabricCost(topo.FabricFatTree, servers, 400, LinkFiber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx400, err := FabricCost(topo.FabricMixNet, servers, 400, LinkFiber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx400.Total() >= ft400.Total() {
+			t.Errorf("%d servers @400G: MixNet $%.0f !< Fat-tree $%.0f",
+				servers, mx400.Total(), ft400.Total())
+		}
+		ratio400 := ft400.Total() / mx400.Total()
+		ft100, _ := FabricCost(topo.FabricFatTree, servers, 100, LinkFiber)
+		mx100, _ := FabricCost(topo.FabricMixNet, servers, 100, LinkFiber)
+		ratio100 := ft100.Total() / mx100.Total()
+		if ratio400 <= ratio100 {
+			t.Errorf("%d servers: cost advantage should grow with bandwidth (100G %.2fx, 400G %.2fx)",
+				servers, ratio100, ratio400)
+		}
+	}
+}
+
+func TestOverSubCheaperThanFull(t *testing.T) {
+	full, _ := FabricCost(topo.FabricFatTree, 128, 400, LinkFiber)
+	over, _ := FabricCost(topo.FabricOverSubFatTree, 128, 400, LinkFiber)
+	if over.Total() >= full.Total() {
+		t.Errorf("oversub $%.0f !< full $%.0f", over.Total(), full.Total())
+	}
+}
+
+func TestTopoOptCheapestSmall(t *testing.T) {
+	// §7.2: at 1024 GPUs TopoOpt is slightly cheaper than MixNet.
+	topoOpt, _ := FabricCost(topo.FabricTopoOpt, 128, 400, LinkFiber)
+	mix, _ := FabricCost(topo.FabricMixNet, 128, 400, LinkFiber)
+	if topoOpt.Total() >= mix.Total() {
+		t.Errorf("TopoOpt $%.0f !< MixNet $%.0f at 128 servers", topoOpt.Total(), mix.Total())
+	}
+}
+
+func TestCostMonotoneInClusterSize(t *testing.T) {
+	var prev float64
+	for _, servers := range []int{64, 128, 256, 512} {
+		b, err := FabricCost(topo.FabricMixNet, servers, 200, LinkFiber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total() <= prev {
+			t.Errorf("cost not increasing at %d servers", servers)
+		}
+		prev = b.Total()
+	}
+}
+
+func TestDACReducesFatTreeCost(t *testing.T) {
+	// Figure 24: replacing EPS server links with DAC reduces cost for both
+	// fabrics but preserves MixNet's advantage.
+	ftF, _ := FabricCost(topo.FabricFatTree, 512, 400, LinkFiber)
+	ftD, _ := FabricCost(topo.FabricFatTree, 512, 400, LinkDAC)
+	mxF, _ := FabricCost(topo.FabricMixNet, 512, 400, LinkFiber)
+	mxD, _ := FabricCost(topo.FabricMixNet, 512, 400, LinkDAC)
+	if ftD.Total() >= ftF.Total() || mxD.Total() >= mxF.Total() {
+		t.Error("DAC did not reduce cost")
+	}
+	if ratio := ftD.Total() / mxD.Total(); ratio < 1.5 {
+		t.Errorf("MixNet advantage with DAC only %.2fx, want >= 1.5x (paper: 2.2x)", ratio)
+	}
+}
+
+func TestPerfPerDollar(t *testing.T) {
+	if got := PerfPerDollar(2, 10); got != 0.05 {
+		t.Errorf("PerfPerDollar = %v, want 0.05", got)
+	}
+	if PerfPerDollar(0, 10) != 0 || PerfPerDollar(1, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestFabricCostUnknownKind(t *testing.T) {
+	if _, err := FabricCost(topo.FabricNVL72, 8, 400, LinkFiber); err == nil {
+		t.Error("expected error for unsupported fabric kind")
+	}
+}

@@ -1,0 +1,125 @@
+// Package dag provides the analytical per-iteration task model of
+// distributed MoE training: per-phase computation times (attention, gate,
+// expert FFN, add&norm) derived from FLOP counts, the 1F1B pipeline
+// schedule arithmetic, and the per-stage layer assignment.
+//
+// It replaces the paper's FlexFlow-derived profiler: the simulator only
+// needs relative phase durations, which are calibrated so that Mixtral
+// 8x7B at micro-batch 8 reproduces Figure 3's shape (expert computation
+// >100 ms on A100s, all-to-all 33–55% of iteration time at 400 Gbps).
+package dag
+
+import (
+	"fmt"
+
+	"mixnet/internal/moe"
+)
+
+// Calibration holds the compute-throughput model.
+type Calibration struct {
+	// PeakFLOPS is the accelerator's peak dense throughput (A100 bf16:
+	// 312 TFLOPS).
+	PeakFLOPS float64
+	// Efficiency is the achieved fraction of peak (MFU), calibrated to
+	// Figure 3.
+	Efficiency float64
+	// BackwardFactor scales backward-pass compute relative to forward
+	// (standard 2x).
+	BackwardFactor float64
+}
+
+// A100 returns the calibration used throughout the experiments.
+func A100() Calibration {
+	return Calibration{PeakFLOPS: 312e12, Efficiency: 0.18, BackwardFactor: 2}
+}
+
+// H800 returns the calibration for the production measurement fabric (§3).
+func H800() Calibration {
+	return Calibration{PeakFLOPS: 990e12, Efficiency: 0.18, BackwardFactor: 2}
+}
+
+// GB200 returns the calibration for the §8 high-radix scale-up study
+// (Blackwell-class accelerators: ~1.25 PFLOPS dense bf16 at higher MFU).
+func GB200() Calibration {
+	return Calibration{PeakFLOPS: 1250e12, Efficiency: 0.4, BackwardFactor: 2}
+}
+
+func (c Calibration) effective(tp int) float64 {
+	return c.PeakFLOPS * c.Efficiency * float64(tp)
+}
+
+// PhaseTimes are the forward computation phases of one MoE block for one
+// micro-batch on one EP rank (a TP group), in seconds (Figure 3's bars).
+type PhaseTimes struct {
+	Attention float64
+	Gate      float64
+	Expert    float64
+	AddNorm   float64
+}
+
+// Forward returns the summed forward computation time.
+func (p PhaseTimes) Forward() float64 { return p.Attention + p.Gate + p.Expert + p.AddNorm }
+
+// ComputeTimes evaluates the phase model. expertLoadShare is the fraction
+// of the EP group's dispatched tokens that this rank's experts process
+// (1/EP when perfectly balanced); the hottest rank paces the group, so
+// callers usually pass the max load share.
+func ComputeTimes(m moe.Model, p moe.TrainPlan, cal Calibration, expertLoadShare float64) PhaseTimes {
+	tokens := float64(p.TokensPerMicroBatch())
+	eff := cal.effective(p.TP)
+	groupDispatch := tokens * float64(m.TopK) * float64(p.EP) // tokens entering experts, group-wide
+	var t PhaseTimes
+	t.Attention = tokens * m.AttnFLOPsPerToken(p.SeqLen) / eff
+	t.Gate = tokens * m.GateFLOPsPerToken() / eff
+	t.Expert = groupDispatch * expertLoadShare * m.ExpertFLOPsPerToken() / eff
+	t.AddNorm = 0.02 * t.Attention // residual add + layer norm: bandwidth-bound sliver
+	return t
+}
+
+// StageLayers returns the global layer indices assigned to pipeline stage
+// pp (ceil division; trailing stages may run fewer layers, e.g.
+// DeepSeek-R1's 61 blocks over 16 stages).
+func StageLayers(blocks, pp, stage int) []int {
+	per := (blocks + pp - 1) / pp
+	lo := stage * per
+	hi := lo + per
+	if hi > blocks {
+		hi = blocks
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]int, 0, hi-lo)
+	for l := lo; l < hi; l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// LayersPerStageMax returns the ceil-division layers of the fullest stage.
+func LayersPerStageMax(blocks, pp int) int { return (blocks + pp - 1) / pp }
+
+// PipelineIterationTime applies the 1F1B schedule bound: with m
+// micro-batches and p stages, the iteration takes (m + p - 1) micro-batch
+// slots of the slowest stage, each slot costing that stage's forward plus
+// backward time.
+func PipelineIterationTime(fwdSlowest, bwdSlowest float64, microBatches, pp int) float64 {
+	if microBatches < 1 {
+		microBatches = 1
+	}
+	if pp < 1 {
+		pp = 1
+	}
+	return float64(microBatches+pp-1) * (fwdSlowest + bwdSlowest)
+}
+
+// Validate sanity-checks a calibration.
+func (c Calibration) Validate() error {
+	if c.PeakFLOPS <= 0 || c.Efficiency <= 0 || c.Efficiency > 1 {
+		return fmt.Errorf("dag: invalid calibration %+v", c)
+	}
+	if c.BackwardFactor < 1 {
+		return fmt.Errorf("dag: backward factor %v < 1", c.BackwardFactor)
+	}
+	return nil
+}

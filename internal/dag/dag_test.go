@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"testing"
+
+	"mixnet/internal/moe"
+)
+
+func TestCalibrationValidate(t *testing.T) {
+	if err := A100().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := H800().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Calibration{PeakFLOPS: -1, Efficiency: 0.2, BackwardFactor: 2}
+	if bad.Validate() == nil {
+		t.Error("negative FLOPS accepted")
+	}
+	bad = Calibration{PeakFLOPS: 1e12, Efficiency: 2, BackwardFactor: 2}
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	bad = Calibration{PeakFLOPS: 1e12, Efficiency: 0.2, BackwardFactor: 0.5}
+	if bad.Validate() == nil {
+		t.Error("backward factor < 1 accepted")
+	}
+}
+
+func TestFigure3ExpertComputeCalibration(t *testing.T) {
+	// Figure 3: Mixtral 8x7B, micro-batch 8 — expert computation exceeds
+	// 100 ms, far above the 25 ms OCS reconfiguration window, and the
+	// phases are ordered expert > attention > gate.
+	m := moe.Mixtral8x7B
+	p := moe.Table1Plans()[m.Name]
+	pt := ComputeTimes(m, p, A100(), 1.0/float64(p.EP))
+	if pt.Expert < 0.100 {
+		t.Errorf("expert compute %.1f ms < 100 ms (Figure 3 calibration)", pt.Expert*1e3)
+	}
+	if pt.Expert > 0.400 {
+		t.Errorf("expert compute %.1f ms implausibly large", pt.Expert*1e3)
+	}
+	if !(pt.Expert > pt.Attention && pt.Attention > pt.Gate) {
+		t.Errorf("phase ordering wrong: %+v", pt)
+	}
+	if pt.Expert < 25e-3*2 {
+		t.Error("expert phase must dominate the 25 ms reconfiguration window")
+	}
+}
+
+func TestComputeTimesScaleWithLoadShare(t *testing.T) {
+	m := moe.Mixtral8x7B
+	p := moe.Table1Plans()[m.Name]
+	balanced := ComputeTimes(m, p, A100(), 1.0/8)
+	skewed := ComputeTimes(m, p, A100(), 0.5)
+	if skewed.Expert <= balanced.Expert {
+		t.Error("hot rank must take longer")
+	}
+	if skewed.Attention != balanced.Attention {
+		t.Error("attention must not depend on expert load")
+	}
+}
+
+func TestComputeTimesTPSpeedsUp(t *testing.T) {
+	m := moe.Mixtral8x7B
+	p := moe.Table1Plans()[m.Name]
+	p2 := p
+	p2.TP = 8
+	t4 := ComputeTimes(m, p, A100(), 0.125)
+	t8 := ComputeTimes(m, p2, A100(), 0.125)
+	if t8.Expert >= t4.Expert {
+		t.Error("doubling TP should shrink expert time")
+	}
+}
+
+func TestStageLayersEven(t *testing.T) {
+	got := StageLayers(32, 4, 1)
+	if len(got) != 8 || got[0] != 8 || got[7] != 15 {
+		t.Errorf("StageLayers(32,4,1) = %v", got)
+	}
+}
+
+func TestStageLayersUneven(t *testing.T) {
+	// 61 blocks over 16 stages: ceil = 4; last stage gets 1 layer.
+	total := 0
+	for s := 0; s < 16; s++ {
+		ls := StageLayers(61, 16, s)
+		total += len(ls)
+		if len(ls) > 4 {
+			t.Errorf("stage %d has %d layers > 4", s, len(ls))
+		}
+	}
+	if total != 61 {
+		t.Errorf("stages cover %d layers, want 61", total)
+	}
+	if got := StageLayers(61, 16, 15); len(got) != 1 || got[0] != 60 {
+		t.Errorf("last stage = %v, want [60]", got)
+	}
+	if got := LayersPerStageMax(61, 16); got != 4 {
+		t.Errorf("LayersPerStageMax = %d, want 4", got)
+	}
+}
+
+func TestStageLayersBeyondEnd(t *testing.T) {
+	// 5 blocks, 4 stages, ceil=2: stages 0,1 get 2; stage 2 gets 1;
+	// stage 3 empty.
+	if got := StageLayers(5, 4, 3); got != nil {
+		t.Errorf("empty stage = %v, want nil", got)
+	}
+}
+
+func TestPipelineIterationTime(t *testing.T) {
+	// 8 micro-batches, 4 stages: 11 slots.
+	got := PipelineIterationTime(0.1, 0.2, 8, 4)
+	want := 11 * 0.3
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("PipelineIterationTime = %v, want %v", got, want)
+	}
+	// Degenerate inputs clamp.
+	if PipelineIterationTime(1, 1, 0, 0) != 2 {
+		t.Error("degenerate pipeline should be one slot")
+	}
+}

@@ -1,0 +1,189 @@
+// Package eventsim implements a minimal discrete-event simulation kernel:
+// a virtual clock and a binary-heap event queue. It underpins the
+// packet-level network simulator (internal/packetsim).
+//
+// Time is kept in int64 nanoseconds of virtual time. Events scheduled at the
+// same instant fire in scheduling order (FIFO tie-break), which keeps
+// simulations deterministic.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts a virtual time to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts float64 seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// String renders the time with adaptive units.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a callback scheduled at a point in virtual time.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and event queue. It is not safe for
+// concurrent use; discrete-event simulation is inherently sequential.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	nsteps uint64
+}
+
+// New creates a simulator with the clock at 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.nsteps }
+
+// Pending returns the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is clamped to 0
+// (the event runs "now", after currently executing events at this instant).
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn at absolute virtual time at. Times in the past are
+// clamped to Now.
+func (s *Simulator) ScheduleAt(at Time, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.nsteps++
+	if e.fn != nil {
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline if it has not passed it. It returns true if the queue drained
+// before the deadline.
+func (s *Simulator) RunUntil(deadline Time) bool {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	drained := len(s.queue) == 0
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return drained
+}
+
+// RunSteps executes at most n events, returning how many actually ran.
+func (s *Simulator) RunSteps(n int) int {
+	ran := 0
+	for ran < n && s.Step() {
+		ran++
+	}
+	return ran
+}

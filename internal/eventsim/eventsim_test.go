@@ -1,0 +1,240 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := FromSeconds(0.001); got != Millisecond {
+		t.Errorf("FromSeconds(0.001) = %v, want 1ms", got)
+	}
+	if got := FromDuration(3 * time.Microsecond); got != 3*Microsecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second, "1.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.Schedule(10, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	if !s.Cancel(e) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if s.Cancel(e) {
+		t.Error("Cancel returned true for already-cancelled event")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var order []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, s.Schedule(Time(i*10), func() { order = append(order, i) }))
+	}
+	// Cancel odd events.
+	for i := 1; i < 20; i += 2 {
+		s.Cancel(events[i])
+	}
+	s.Run()
+	if len(order) != 10 {
+		t.Fatalf("got %d events, want 10", len(order))
+	}
+	for _, v := range order {
+		if v%2 != 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	s.Schedule(100, func() {
+		s.Schedule(-50, func() {
+			if s.Now() != 100 {
+				t.Errorf("negative delay ran at %v, want 100", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	s := New()
+	s.Schedule(100, func() {
+		s.ScheduleAt(10, func() {
+			if s.Now() != 100 {
+				t.Errorf("past event ran at %v, want 100", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		s.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	drained := s.RunUntil(15)
+	if drained {
+		t.Error("RunUntil reported drained with events pending")
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 15 {
+		t.Errorf("Now = %v, want 15", s.Now())
+	}
+	if !s.RunUntil(100) {
+		t.Error("RunUntil(100) should drain")
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now = %v, want clock advanced to deadline 100", s.Now())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() { n++ })
+	}
+	if ran := s.RunSteps(3); ran != 3 || n != 3 {
+		t.Errorf("RunSteps(3) ran %d, n=%d", ran, n)
+	}
+	if ran := s.RunSteps(10); ran != 2 {
+		t.Errorf("RunSteps(10) ran %d, want 2", ran)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	s.Run()
+	if s.Steps() != 7 {
+		t.Errorf("Steps = %d, want 7", s.Steps())
+	}
+}
+
+// Property: events always fire in nondecreasing timestamp order, regardless
+// of insertion order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		n := 50 + rng.Intn(100)
+		var fired []Time
+		for i := 0; i < n; i++ {
+			at := Time(rng.Int63n(1_000_000))
+			s.ScheduleAt(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clock equals max scheduled timestamp after Run.
+func TestPropertyFinalClock(t *testing.T) {
+	f := func(times []uint32) bool {
+		s := New()
+		var maxT Time
+		for _, raw := range times {
+			at := Time(raw % 1_000_000)
+			if at > maxT {
+				maxT = at
+			}
+			s.ScheduleAt(at, func() {})
+		}
+		final := s.Run()
+		return final == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

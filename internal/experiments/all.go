@@ -1,0 +1,72 @@
+package experiments
+
+import "fmt"
+
+// Runner produces one table.
+type Runner struct {
+	ID  string
+	Run func(Scale) (Table, error)
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Runner {
+	wrap := func(f func() Table) func(Scale) (Table, error) {
+		return func(Scale) (Table, error) { return f(), nil }
+	}
+	wrapErr := func(f func() (Table, error)) func(Scale) (Table, error) {
+		return func(Scale) (Table, error) { return f() }
+	}
+	return []Runner{
+		{"tab1", wrap(Tab1)},
+		{"tab2", wrap(Tab2)},
+		{"tab4", wrap(Tab4)},
+		{"fig2", wrap(Fig2)},
+		{"fig3", Fig3},
+		{"fig4", func(s Scale) (Table, error) { return Fig4(s), nil }},
+		{"fig5", wrapErr(Fig5)},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"fig18", func(s Scale) (Table, error) { return Fig18(s), nil }},
+		{"fig19", func(s Scale) (Table, error) { return Fig19(s), nil }},
+		{"fig21", wrap(Fig21)},
+		{"fig22_23", wrap(Fig22_23)},
+		{"fig24", Fig24},
+		{"fig25", Fig25},
+		{"fig26", Fig26},
+		{"fig27", Fig27},
+		{"fig28", Fig28},
+		{"abl_greedy", AblationGreedyVsUniform},
+		{"abl_firsta2a", AblationFirstA2A},
+		{"abl_regional", AblationRegionalVsGlobal},
+		{"abl_numa", func(Scale) (Table, error) { return AblationNUMAPermute() }},
+		{"abl_fluid", func(Scale) (Table, error) { return AblationFluidVsPacket() }},
+	}
+}
+
+// Run executes one experiment by id.
+func Run(id string, scale Scale) (Table, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r.Run(scale)
+		}
+	}
+	return Table{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// All runs every experiment, stopping at the first error.
+func All(scale Scale) ([]Table, error) {
+	var out []Table
+	for _, r := range Registry() {
+		t, err := r.Run(scale)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+	"mixnet/internal/topo"
+	"mixnet/internal/trainsim"
+)
+
+// Fig17 reproduces Figure 17 (Appendix A.1): the MoE-layer phase timelines
+// of LLaMA-MoE and Qwen-MoE, where the two all-to-all phases take a larger
+// share of the iteration than in Mixtral.
+func Fig17(scale Scale) (Table, error) {
+	t := Table{
+		ID: "fig17", Title: "Phase timelines of LLaMA-MoE and Qwen-MoE (400G fat-tree)",
+		Header: []string{"Model", "MicroBatch", "Attention", "A2A#1", "Expert", "A2A#2", "A2A frac"},
+		Notes:  "paper: A2A 42-58% (LLaMA-MoE) and up to 68% (Qwen-MoE) of iteration",
+	}
+	sizes := []int{8}
+	if scale == Full {
+		sizes = []int{8, 16, 32}
+	}
+	for _, m := range []moe.Model{moe.LLaMAMoE, moe.QwenMoE} {
+		for _, mbs := range sizes {
+			plan := moe.Table1Plans()[m.Name]
+			plan.MicroBatch = mbs
+			c := buildCluster(topo.FabricFatTree, plan.GPUs()/8, 400*topo.Gbps, plan)
+			e, err := trainsim.New(m, plan, c, trainsim.Options{GateSeed: 2})
+			if err != nil {
+				return t, err
+			}
+			s, err := e.RunIteration()
+			if err != nil {
+				return t, err
+			}
+			l := s.Layer0
+			t.Rows = append(t.Rows, []string{
+				m.Name, fmt.Sprint(mbs), ms(l.Attention), ms(l.A2A1),
+				ms(l.Expert), ms(l.A2A2), f2(s.A2AFraction()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig18 reproduces Figure 18 (Appendix A.2): even in a converged model, the
+// per-expert token distribution is non-uniform and varies across MoE
+// blocks, which is the case for runtime adaptation.
+func Fig18(scale Scale) Table {
+	iters := 1500
+	if scale == Full {
+		iters = 8000
+	}
+	t := Table{
+		ID: "fig18", Title: "Converged-model token distribution across blocks (Mixtral 8x7B)",
+		Header: []string{"Block", "Max share", "Min share", "Max/Min", "CV"},
+		Notes:  "paper: non-uniform per block even after convergence",
+	}
+	m := moe.Mixtral8x7B
+	gs := moe.NewGateSim(m, moe.Table1Plans()[m.Name], moe.DefaultGateConfig(33))
+	var it *moe.Iteration
+	for i := 0; i < iters; i++ { // run to (near-)convergence
+		it = gs.Next()
+	}
+	for _, l := range []int{0, 8, 16, 24, 31} {
+		loads := it.Layers[l].Loads
+		max, min := metrics.Max(loads), metrics.Min(loads)
+		ratio := 0.0
+		if min > 0 {
+			ratio = max / min
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(l), f3(max), f3(min), f2(ratio),
+			f3(metrics.CoefficientOfVariation(loads)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mixnet/internal/cost"
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+	"mixnet/internal/ocs"
+	"mixnet/internal/parallel"
+	"mixnet/internal/topo"
+)
+
+// Tab1 reproduces Table 1: state-of-the-art MoE training configurations.
+func Tab1() Table {
+	t := Table{
+		ID: "tab1", Title: "MoE training configurations",
+		Header: []string{"Model", "Blocks", "Experts", "EP", "TP", "PP", "SeqLen", "MicroBatch"},
+	}
+	models := []moe.Model{moe.Mixtral8x7B, moe.LLaMAMoE, moe.QwenMoE}
+	plans := moe.Table1Plans()
+	for _, m := range models {
+		p := plans[m.Name]
+		t.Rows = append(t.Rows, []string{
+			m.Name, fmt.Sprint(m.Blocks), fmt.Sprint(m.Experts),
+			fmt.Sprint(p.EP), fmt.Sprint(p.TP), fmt.Sprint(p.PP),
+			fmt.Sprint(p.SeqLen), fmt.Sprint(p.MicroBatch),
+		})
+	}
+	return t
+}
+
+// Tab2 reproduces Table 2: the OCS port-count/agility trade-off.
+func Tab2() Table {
+	t := Table{
+		ID: "tab2", Title: "Commodity OCS technologies",
+		Header: []string{"Technology", "Ports", "Reconfig. delay"},
+	}
+	for _, tech := range ocs.Catalog() {
+		delay := "not reported"
+		if tech.DelayHigh > 0 {
+			switch {
+			case tech.DelayLow >= 1:
+				delay = fmt.Sprintf("%.0f-%.0fs", tech.DelayLow, tech.DelayHigh)
+			case tech.DelayLow >= 1e-3:
+				delay = fmt.Sprintf("%.0f-%.0fms", tech.DelayLow*1e3, tech.DelayHigh*1e3)
+			case tech.DelayLow >= 1e-6:
+				delay = fmt.Sprintf("%.0fus", tech.DelayLow*1e6)
+			default:
+				delay = fmt.Sprintf("%.0fns", tech.DelayLow*1e9)
+			}
+		}
+		t.Rows = append(t.Rows, []string{tech.Name, fmt.Sprintf("%dx%d", tech.Ports, tech.Ports), delay})
+	}
+	return t
+}
+
+// Tab4 reproduces Table 4: network component costs.
+func Tab4() Table {
+	t := Table{
+		ID: "tab4", Title: "Cost of network components (USD)",
+		Header: []string{"Link", "Transceiver", "NIC", "Elec. port", "OCS port", "Patch port"},
+	}
+	for _, g := range []int{100, 200, 400, 800} {
+		p := cost.Table4()[g]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d Gbps", g),
+			fmt.Sprintf("%.0f", p.Transceiver), fmt.Sprintf("%.0f", p.NIC),
+			fmt.Sprintf("%.0f", p.ElecPort), fmt.Sprintf("%.0f", p.OCSPort),
+			fmt.Sprintf("%.0f", p.PatchPort),
+		})
+	}
+	return t
+}
+
+// Fig2 reproduces Figure 2: traffic volume distribution per parallelism.
+func Fig2() Table {
+	t := Table{
+		ID: "fig2", Title: "Traffic volume share by parallelism (%)",
+		Header: []string{"Model", "TP", "EP", "PP", "DP"},
+		Notes:  "paper: Mixtral TP~60/EP~30; LLaMA & Qwen EP>80",
+	}
+	for _, m := range []moe.Model{moe.Mixtral8x7B, moe.LLaMAMoE, moe.QwenMoE} {
+		v := parallel.IterationVolumes(m, moe.Table1Plans()[m.Name])
+		tp, ep, pp, dp := v.Shares()
+		t.Rows = append(t.Rows, []string{
+			m.Name, f2(tp * 100), f2(ep * 100), f2(pp * 100), f2(dp * 100),
+		})
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: temporal and spatial all-to-all dynamics of
+// Mixtral 8x7B over training.
+func Fig4(scale Scale) Table {
+	iters := 2000
+	if scale == Full {
+		iters = 10000
+	}
+	t := Table{
+		ID: "fig4", Title: "All-to-all traffic dynamics (Mixtral 8x7B)",
+		Header: []string{"Iteration", "Load CV", "Matrix sparsity", "Total vol (MB)"},
+		Notes:  "paper: variability decays with training, sparsity persists",
+	}
+	gs := moe.NewGateSim(moe.Mixtral8x7B, moe.Table1Plans()[moe.Mixtral8x7B.Name], moe.DefaultGateConfig(42))
+	checkpoints := map[int]bool{0: true, iters / 4: true, iters / 2: true, iters - 1: true}
+	for i := 0; i < iters; i++ {
+		it := gs.Next()
+		if checkpoints[i] {
+			d := it.Layers[0]
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(i),
+				f3(metrics.CoefficientOfVariation(d.Loads)),
+				f3(d.RankMatrix.Sparsity(0.5)),
+				f2(d.RankMatrix.Total() / 1e6),
+			})
+		}
+	}
+	return t
+}
+
+// Fig5 reproduces Figure 5: the 128-GPU traffic matrix locality.
+func Fig5() (Table, error) {
+	m := moe.Mixtral8x7B
+	plan := moe.Table1Plans()[m.Name] // EP8 TP4 PP4 = 128 GPUs
+	c := buildCluster(topo.FabricFatTree, 16, 100e9, plan)
+	pl, err := parallel.NewPlacement(c, plan)
+	if err != nil {
+		return Table{}, err
+	}
+	gs := moe.NewGateSim(m, plan, moe.DefaultGateConfig(7))
+	tm := parallel.GPUTrafficMatrix(pl, gs.Next(), m)
+	t := Table{
+		ID: "fig5", Title: "GPU traffic matrix locality (Mixtral 8x7B, 128 GPUs)",
+		Header: []string{"Metric", "Value"},
+		Notes:  "paper: EP traffic confined to 32-GPU blocks along the diagonal",
+	}
+	t.Rows = append(t.Rows,
+		[]string{"EP-group locality score", f3(parallel.LocalityScore(pl, tm))},
+		[]string{"total volume (GB)", f2(tm.Total() / 1e9)},
+		[]string{"matrix sparsity (frac < 0.5*mean)", f3(tm.Sparsity(0.5))},
+	)
+	return t, nil
+}
+
+// Fig19 reproduces Figure 19: MixNet-Copilot prediction accuracy vs the
+// Random and Unchanged baselines for top-K, K=1..4.
+func Fig19(scale Scale) Table {
+	iters := 150
+	if scale == Full {
+		iters = 600
+	}
+	t := Table{
+		ID: "fig19", Title: "Copilot top-K prediction accuracy",
+		Header: []string{"K", "Random", "Unchanged", "MixNet-Copilot"},
+		Notes:  "paper: Copilot highest at every K",
+	}
+	rows := copilotAccuracy(iters)
+	for k := 1; k <= 4; k++ {
+		r := rows[k-1]
+		t.Rows = append(t.Rows, []string{fmt.Sprint(k), f3(r[0]), f3(r[1]), f3(r[2])})
+	}
+	return t
+}
+
+// Fig21 reproduces Figure 21: reconfiguration-delay CDFs per batch size.
+func Fig21() Table {
+	t := Table{
+		ID: "fig21", Title: "OCS reconfiguration delay (Polatis model)",
+		Header: []string{"Pairs", "Mean", "p50", "p99"},
+		Notes:  "paper: 41.4/42.4/46.8ms means; 99% under 70ms",
+	}
+	dev := ocs.NewPolatisDevice(11)
+	for _, pairs := range []int{1, 4, 16} {
+		var samples []float64
+		for i := 0; i < 5000; i++ {
+			samples = append(samples, dev.ReconfigDelay(pairs))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(pairs), ms(metrics.Mean(samples)),
+			ms(metrics.Percentile(samples, 50)), ms(metrics.Percentile(samples, 99)),
+		})
+	}
+	return t
+}
+
+// Fig22_23 reproduces Figures 22–23: the control timeline including the
+// commodity transceiver/NIC re-activation penalty.
+func Fig22_23() Table {
+	t := Table{
+		ID: "fig22_23", Title: "OCS control timeline with NIC activation",
+		Header: []string{"Stage", "Mean", "p99"},
+		Notes:  "paper: NIC activation mean 5.67s, p99 6.33s (excluded from training-time results)",
+	}
+	reconf := ocs.NewPolatisDevice(13)
+	var rs []float64
+	for i := 0; i < 5000; i++ {
+		rs = append(rs, reconf.ReconfigDelay(4))
+	}
+	t.Rows = append(t.Rows, []string{"OCS reconfiguration",
+		ms(metrics.Mean(rs)), ms(metrics.Percentile(rs, 99))})
+
+	withNIC := ocs.NewPolatisDevice(13).WithNICActivation()
+	var ns []float64
+	for i := 0; i < 5000; i++ {
+		ns = append(ns, withNIC.ReconfigDelay(4))
+	}
+	t.Rows = append(t.Rows, []string{"+ transceiver & NIC init",
+		fmt.Sprintf("%.2fs", metrics.Mean(ns)), fmt.Sprintf("%.2fs", metrics.Percentile(ns, 99))})
+	return t
+}

@@ -1,0 +1,143 @@
+// Package failure implements the failure-injection scenarios of §5.4 /
+// Figure 14: NIC/link failures with indirect forwarding, single-GPU
+// failures remapped to backup GPUs, and full-server failures replaced from
+// a backup pool reachable over EPS only. Each injector returns a restore
+// function so scenarios compose and unwind cleanly.
+package failure
+
+import (
+	"fmt"
+
+	"mixnet/internal/topo"
+	"mixnet/internal/trainsim"
+)
+
+// Restore undoes an injected failure.
+type Restore func()
+
+// FailEPSNICs downs count EPS NICs on a server (both the NIC-hub and
+// NIC-ToR duplex links), forcing traffic onto the remaining NICs or, when
+// all EPS NICs are dead, onto the OCS relay path (§5.4 network fault
+// resilience).
+func FailEPSNICs(c *topo.Cluster, server, count int) (Restore, error) {
+	if server < 0 || server >= len(c.Servers) {
+		return nil, fmt.Errorf("failure: server %d out of range", server)
+	}
+	eps := c.Servers[server].EPSNICs()
+	if count > len(eps) {
+		return nil, fmt.Errorf("failure: server %d has %d EPS NICs, cannot fail %d", server, len(eps), count)
+	}
+	var downed []topo.LinkID
+	for i := 0; i < count; i++ {
+		nic := eps[i].Node
+		for _, lid := range c.G.Out(nic) {
+			c.G.SetLinkUp(lid, false)
+			downed = append(downed, lid)
+		}
+		for _, lid := range c.G.In(nic) {
+			c.G.SetLinkUp(lid, false)
+			downed = append(downed, lid)
+		}
+	}
+	return func() {
+		for _, lid := range downed {
+			c.G.SetLinkUp(lid, true)
+		}
+	}, nil
+}
+
+// FailOCSNIC downs one OCS-attached NIC of a server; circuits terminating
+// there go dark until the controller replans (EPS serves as fallback).
+func FailOCSNIC(c *topo.Cluster, server, idx int) (Restore, error) {
+	ocsNICs := c.Servers[server].OCSNICs()
+	if idx < 0 || idx >= len(ocsNICs) {
+		return nil, fmt.Errorf("failure: server %d OCS NIC %d out of range", server, idx)
+	}
+	nic := ocsNICs[idx].Node
+	var downed []topo.LinkID
+	for _, lid := range c.G.Out(nic) {
+		c.G.SetLinkUp(lid, false)
+		downed = append(downed, lid)
+	}
+	for _, lid := range c.G.In(nic) {
+		c.G.SetLinkUp(lid, false)
+		downed = append(downed, lid)
+	}
+	return func() {
+		for _, lid := range downed {
+			c.G.SetLinkUp(lid, true)
+		}
+	}, nil
+}
+
+// FailGPU remaps EP rank (ep, tp) of the engine's representative group to a
+// backup GPU. The backup is chosen on backupServer with the same local GPU
+// index, matching the paper's designated-backup policy.
+func FailGPU(e *trainsim.Engine, ep, tp, backupServer int) (Restore, error) {
+	c := e.Cluster
+	if backupServer < 0 || backupServer >= len(c.Servers) {
+		return nil, fmt.Errorf("failure: backup server %d out of range", backupServer)
+	}
+	backup := c.Servers[backupServer].GPUs[tp%len(c.Servers[backupServer].GPUs)]
+	orig, err := e.FailGPU(ep, tp, backup)
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		e.OverrideGPU(orig, orig)
+		e.SetTPOverEPS(0)
+	}, nil
+}
+
+// FailServer replaces a whole server of the representative group with a
+// backup server from the global pool (EPS connectivity only; the failed
+// server is excluded from circuit planning).
+func FailServer(e *trainsim.Engine, server, backupServer int) (Restore, error) {
+	origs, err := e.FailServer(server, backupServer)
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		for _, g := range origs {
+			e.OverrideGPU(g, g)
+		}
+		e.SetTPOverEPS(0)
+		if ct := e.Controller(); ct != nil {
+			ct.SetServerFailed(server, false)
+		}
+	}, nil
+}
+
+// Overhead measures the relative iteration-time increase of a failure
+// scenario (Figure 14's metric). Because gate dynamics are nonstationary
+// across iterations, it compares two engines built from the same factory
+// (same seed): one clean, one with the failure injected before running.
+func Overhead(mk func() (*trainsim.Engine, error), inject func(e *trainsim.Engine) (Restore, error), n int) (float64, error) {
+	clean, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	base, err := clean.Run(n)
+	if err != nil {
+		return 0, err
+	}
+	faulty, err := mk()
+	if err != nil {
+		return 0, err
+	}
+	restore, err := inject(faulty)
+	if err != nil {
+		return 0, err
+	}
+	defer restore()
+	failed, err := faulty.Run(n)
+	if err != nil {
+		return 0, err
+	}
+	b := trainsim.MeanIterTime(base)
+	f := trainsim.MeanIterTime(failed)
+	if b == 0 {
+		return 0, fmt.Errorf("failure: zero baseline iteration time")
+	}
+	return f/b - 1, nil
+}

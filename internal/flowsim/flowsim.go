@@ -1,0 +1,233 @@
+// Package flowsim is a fluid (flow-level) network simulator: concurrent
+// flows share link capacity according to max-min fairness, recomputed by
+// progressive filling at every flow arrival and completion.
+//
+// It is the fast substrate used for the paper's large-scale sweeps
+// (1024–32768 GPUs); internal/packetsim is the high-fidelity packet-level
+// counterpart, and the two are cross-validated in tests.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mixnet/internal/topo"
+)
+
+// Flow is one byte transfer along a fixed path.
+type Flow struct {
+	ID    int
+	Path  topo.Route // directed link IDs src->dst; empty = intra-node no-op
+	Bytes float64    // payload size in bytes
+	Start float64    // start offset in seconds (phase-relative)
+
+	// Finish is filled by Simulate: completion time in seconds.
+	Finish float64
+
+	remaining float64
+	rate      float64
+	frozen    bool
+	started   bool
+	done      bool
+}
+
+// Result summarises one Simulate run.
+type Result struct {
+	Makespan float64 // completion time of the last flow
+	Events   int     // number of rate recomputations
+}
+
+// Simulate computes max-min fair completion times for the given flows over
+// graph g. Flow Finish fields are written in place. Links that are down
+// make their flows error.
+func Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
+	var res Result
+	if len(flows) == 0 {
+		return res, nil
+	}
+	// Validate paths and initialise state.
+	for _, f := range flows {
+		if f.Bytes < 0 {
+			return res, fmt.Errorf("flowsim: flow %d negative bytes", f.ID)
+		}
+		for _, lid := range f.Path {
+			l := g.Link(lid)
+			if !l.Up {
+				return res, fmt.Errorf("flowsim: flow %d uses down link %d", f.ID, lid)
+			}
+		}
+		f.remaining = f.Bytes
+		f.started, f.done = false, false
+		f.Finish = 0
+	}
+
+	// Pending flows sorted by start time.
+	pending := append([]*Flow(nil), flows...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Start < pending[j].Start })
+	nextPending := 0
+
+	var active []*Flow
+	now := 0.0
+	if len(pending) > 0 {
+		now = pending[0].Start
+	}
+
+	for nextPending < len(pending) || len(active) > 0 {
+		// Admit newly started flows.
+		for nextPending < len(pending) && pending[nextPending].Start <= now+1e-15 {
+			f := pending[nextPending]
+			nextPending++
+			f.started = true
+			lat := topo.PathLatency(g, f.Path)
+			if f.Bytes == 0 || len(f.Path) == 0 {
+				f.done = true
+				f.Finish = now + lat
+				if f.Finish > res.Makespan {
+					res.Makespan = f.Finish
+				}
+				continue
+			}
+			active = append(active, f)
+		}
+		if len(active) == 0 {
+			if nextPending < len(pending) {
+				now = pending[nextPending].Start
+				continue
+			}
+			break
+		}
+
+		computeMaxMin(g, active)
+		res.Events++
+
+		// Time to next completion among active flows.
+		dt := math.Inf(1)
+		for _, f := range active {
+			if f.rate <= 0 {
+				return res, fmt.Errorf("flowsim: flow %d starved (rate 0)", f.ID)
+			}
+			if t := f.remaining / f.rate; t < dt {
+				dt = t
+			}
+		}
+		// Or the next flow arrival, whichever is earlier.
+		if nextPending < len(pending) {
+			if t := pending[nextPending].Start - now; t < dt {
+				dt = t
+			}
+		}
+		now += dt
+		// Progress all active flows; retire completed ones.
+		out := active[:0]
+		for _, f := range active {
+			f.remaining -= f.rate * dt
+			if f.remaining <= 1e-9*math.Max(1, f.Bytes) {
+				f.done = true
+				f.Finish = now + topo.PathLatency(g, f.Path)
+				if f.Finish > res.Makespan {
+					res.Makespan = f.Finish
+				}
+				continue
+			}
+			out = append(out, f)
+		}
+		active = out
+	}
+	return res, nil
+}
+
+// computeMaxMin assigns max-min fair rates (bytes/s) to the active flows by
+// progressive filling.
+func computeMaxMin(g *topo.Graph, active []*Flow) {
+	type linkState struct {
+		cap   float64 // remaining capacity, bytes/s
+		count int     // unfrozen flows crossing it
+	}
+	links := make(map[topo.LinkID]*linkState)
+	for _, f := range active {
+		f.frozen = false
+		f.rate = 0
+		for _, lid := range f.Path {
+			ls := links[lid]
+			if ls == nil {
+				ls = &linkState{cap: g.Link(lid).Bps / 8}
+				links[lid] = ls
+			}
+			ls.count++
+		}
+	}
+	unfrozen := len(active)
+	for unfrozen > 0 {
+		// Find the tightest link.
+		min := math.Inf(1)
+		for _, ls := range links {
+			if ls.count == 0 {
+				continue
+			}
+			if fair := ls.cap / float64(ls.count); fair < min {
+				min = fair
+			}
+		}
+		if math.IsInf(min, 1) {
+			// Remaining flows cross no shared links (shouldn't happen:
+			// every flow has a path here). Give them infinite rate guard.
+			for _, f := range active {
+				if !f.frozen {
+					f.rate = math.Inf(1)
+					f.frozen = true
+					unfrozen--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing a link at the bottleneck rate.
+		for _, f := range active {
+			if f.frozen {
+				continue
+			}
+			bottled := false
+			for _, lid := range f.Path {
+				ls := links[lid]
+				if ls.count > 0 && ls.cap/float64(ls.count) <= min*(1+1e-12) {
+					bottled = true
+					break
+				}
+			}
+			if !bottled {
+				continue
+			}
+			f.rate = min
+			f.frozen = true
+			unfrozen--
+			for _, lid := range f.Path {
+				ls := links[lid]
+				ls.cap -= min
+				if ls.cap < 0 {
+					ls.cap = 0
+				}
+				ls.count--
+			}
+		}
+	}
+}
+
+// Makespan is a convenience wrapper: simulate and return only the makespan.
+// It panics on simulation errors (down links, negative sizes), which are
+// programming errors in the callers.
+func Makespan(g *topo.Graph, flows []*Flow) float64 {
+	res, err := Simulate(g, flows)
+	if err != nil {
+		panic(err)
+	}
+	return res.Makespan
+}
+
+// TotalBytes sums the payload of a flow set.
+func TotalBytes(flows []*Flow) float64 {
+	var s float64
+	for _, f := range flows {
+		s += f.Bytes
+	}
+	return s
+}

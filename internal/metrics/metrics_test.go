@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Errorf("Max = %v, want 4", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Min(nil); !math.IsInf(got, 1) {
+		t.Errorf("Min(nil) = %v, want +Inf", got)
+	}
+	if got := Max(nil); !math.IsInf(got, -1) {
+		t.Errorf("Max(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Stddev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	if got := CoefficientOfVariation([]float64{0, 0}); got != 0 {
+		t.Errorf("CV of zeros = %v, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{1, 3})
+	if !almostEqual(n[0], 0.25, 1e-12) || !almostEqual(n[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", n)
+	}
+	u := Normalize([]float64{0, 0, 0, 0})
+	for _, v := range u {
+		if !almostEqual(v, 0.25, 1e-12) {
+			t.Errorf("Normalize zeros = %v, want uniform", u)
+		}
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			xs[i] = math.Abs(xs[i])
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true // skip pathological input
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		if s := Sum(xs); s == 0 || math.IsInf(s, 0) {
+			return true // skip zero-sum and overflowing input
+		}
+		return almostEqual(Sum(Normalize(xs)), 1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+	if got := c.Len(); got != 4 {
+		t.Errorf("Len = %v, want 4", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = rng.NormFloat64()
+	}
+	c := NewCDF(samples)
+	prev := -1.0
+	for x := -3.0; x <= 3.0; x += 0.1 {
+		v := c.At(x)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("Points(3) len = %d", len(pts))
+	}
+	if pts[0][0] != 1 || pts[len(pts)-1][0] != 5 {
+		t.Errorf("Points endpoints wrong: %v", pts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(50) // clamps to last bin
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("clamping failed: %v", h.Counts)
+	}
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 1)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 6 {
+		t.Errorf("At/Set/Add wrong: %v", m.Data)
+	}
+	if m.Total() != 7 {
+		t.Errorf("Total = %v, want 7", m.Total())
+	}
+	rs := m.RowSums()
+	if rs[0] != 1 || rs[1] != 6 {
+		t.Errorf("RowSums = %v", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[2] != 6 {
+		t.Errorf("ColSums = %v", cs)
+	}
+}
+
+func TestMatrixCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 7)
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(1, 0) != 7 {
+		t.Errorf("Transpose value wrong")
+	}
+}
+
+func TestMatrixTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMatrix(1+rng.Intn(8), 1+rng.Intn(8))
+		for i := range m.Data {
+			m.Data[i] = rng.Float64()
+		}
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixSparsity(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 100) // one hot entry, three zeros
+	if got := m.Sparsity(0.1); got != 0.75 {
+		t.Errorf("Sparsity = %v, want 0.75", got)
+	}
+	z := NewMatrix(2, 2)
+	if got := z.Sparsity(0.1); got != 1 {
+		t.Errorf("Sparsity of zero matrix = %v, want 1", got)
+	}
+}
+
+func TestMatrixScale(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 4)
+	m.Scale(0.5)
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 {
+		t.Errorf("Scale wrong: %v", m.Data)
+	}
+}

@@ -1,0 +1,252 @@
+package moe
+
+import (
+	"math"
+	"testing"
+
+	"mixnet/internal/metrics"
+)
+
+func TestRegistryConsistency(t *testing.T) {
+	models := Models()
+	if len(models) != 6 {
+		t.Errorf("registry has %d models, want 6", len(models))
+	}
+	for name, m := range models {
+		if m.Name != name {
+			t.Errorf("registry key %q != model name %q", name, m.Name)
+		}
+		if m.Experts < m.TopK {
+			t.Errorf("%s: topK > experts", name)
+		}
+		if m.Hidden <= 0 || m.Blocks <= 0 || m.ParamsB <= 0 {
+			t.Errorf("%s: non-positive architecture params", name)
+		}
+	}
+}
+
+func TestTable1PlansMatchPaper(t *testing.T) {
+	plans := Table1Plans()
+	p := plans[Mixtral8x7B.Name]
+	if p.EP != 8 || p.TP != 4 || p.PP != 4 || p.SeqLen != 4096 || p.MicroBatch != 8 {
+		t.Errorf("Mixtral 8x7B plan %+v does not match Table 1", p)
+	}
+	if plans[LLaMAMoE.Name].EP != 16 || plans[QwenMoE.Name].EP != 16 {
+		t.Error("LLaMA/Qwen EP degrees do not match Table 1")
+	}
+	for name, p := range plans {
+		if err := Validate(Models()[name], p); err != nil {
+			t.Errorf("Table 1 plan invalid: %v", err)
+		}
+	}
+}
+
+func TestSimPlansValid(t *testing.T) {
+	for name, p := range SimPlans() {
+		m := Models()[name]
+		if err := Validate(m, p); err != nil {
+			t.Errorf("sim plan %s: %v", name, err)
+		}
+	}
+	// DeepSeek-R1 must use 64-way EP and 16-way PP (§D.1).
+	p := SimPlans()[DeepSeekR1.Name]
+	if p.EP != 64 || p.PP != 16 {
+		t.Errorf("DeepSeek-R1 plan %+v does not match §D.1", p)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	if err := Validate(Mixtral8x7B, TrainPlan{EP: 3, TP: 1, PP: 1}); err == nil {
+		t.Error("EP=3 with 8 experts should fail")
+	}
+	if err := Validate(Mixtral8x7B, TrainPlan{EP: 8, TP: 1, PP: 64}); err == nil {
+		t.Error("PP=64 with 32 blocks should fail")
+	}
+	if err := Validate(Mixtral8x7B, TrainPlan{EP: 0, TP: 1, PP: 1}); err == nil {
+		t.Error("EP=0 should fail")
+	}
+}
+
+func TestExpertsPerRank(t *testing.T) {
+	if got := DeepSeekR1.ExpertsPerRank(TrainPlan{EP: 64, TP: 1, PP: 16}); got != 4 {
+		t.Errorf("ExpertsPerRank = %d, want 4", got)
+	}
+	if got := Mixtral8x7B.ExpertsPerRank(TrainPlan{EP: 8, TP: 4, PP: 4}); got != 1 {
+		t.Errorf("ExpertsPerRank = %d, want 1", got)
+	}
+}
+
+func TestFLOPHelpersPositiveAndOrdered(t *testing.T) {
+	m := Mixtral8x7B
+	if m.ExpertFLOPsPerToken() <= m.GateFLOPsPerToken() {
+		t.Error("expert FFN should dominate gate FLOPs")
+	}
+	if m.AttnFLOPsPerToken(4096) <= 0 || m.TokenBytes() != 8192 {
+		t.Errorf("helpers wrong: attn=%v tokenBytes=%v", m.AttnFLOPsPerToken(4096), m.TokenBytes())
+	}
+	if m.GradBytes() != 46.7e9*2 {
+		t.Errorf("GradBytes = %v", m.GradBytes())
+	}
+}
+
+func newTestGate(t *testing.T) *GateSim {
+	t.Helper()
+	return NewGateSim(Mixtral8x7B, Table1Plans()[Mixtral8x7B.Name], DefaultGateConfig(1))
+}
+
+func TestGateLoadsAreDistributions(t *testing.T) {
+	g := newTestGate(t)
+	it := g.Next()
+	if len(it.Layers) != Mixtral8x7B.Blocks {
+		t.Fatalf("layers = %d, want %d", len(it.Layers), Mixtral8x7B.Blocks)
+	}
+	for l, d := range it.Layers {
+		sum := metrics.Sum(d.Loads)
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("layer %d loads sum %v, want 1", l, sum)
+		}
+		for _, v := range d.Loads {
+			if v < 0 {
+				t.Errorf("layer %d negative load", l)
+			}
+		}
+	}
+}
+
+func TestGateMatrixShapeAndVolume(t *testing.T) {
+	g := newTestGate(t)
+	it := g.Next()
+	d := it.Layers[0]
+	if d.RankMatrix.Rows != 8 || d.RankMatrix.Cols != 8 {
+		t.Fatalf("rank matrix %dx%d, want 8x8", d.RankMatrix.Rows, d.RankMatrix.Cols)
+	}
+	// Every rank dispatches roughly tokens*topk*tokenBytes.
+	expect := float64(4096*8) * 2 * 8192
+	rows := d.RankMatrix.RowSums()
+	for i, r := range rows {
+		if r < expect*0.7 || r > expect*1.3 {
+			t.Errorf("rank %d dispatch volume %.3g, want ~%.3g", i, r, expect)
+		}
+	}
+}
+
+func TestGateTemporalVariabilityDecays(t *testing.T) {
+	g := newTestGate(t)
+	cvEarly, cvLate := 0.0, 0.0
+	const n = 40
+	for i := 0; i < 3000; i++ {
+		it := g.Next()
+		cv := metrics.CoefficientOfVariation(it.Layers[0].Loads)
+		if i < n {
+			cvEarly += cv / n
+		}
+		if i >= 3000-n {
+			cvLate += cv / n
+		}
+	}
+	if cvLate >= cvEarly {
+		t.Errorf("load variability did not decay: early CV %.3f, late CV %.3f", cvEarly, cvLate)
+	}
+	if cvLate == 0 {
+		t.Error("late variability collapsed to zero; sparsity must persist (§3)")
+	}
+}
+
+func TestGateSpatialSparsityPersists(t *testing.T) {
+	g := NewGateSim(QwenMoE, SimPlans()[QwenMoE.Name], DefaultGateConfig(2))
+	var it *Iteration
+	for i := 0; i < 500; i++ {
+		it = g.Next()
+	}
+	sp := it.Layers[0].RankMatrix.Sparsity(0.5)
+	if sp < 0.2 {
+		t.Errorf("rank matrix sparsity %.2f after 500 iters; expected persistent sparsity", sp)
+	}
+}
+
+func TestGateDeterministicBySeed(t *testing.T) {
+	a := NewGateSim(Mixtral8x7B, Table1Plans()[Mixtral8x7B.Name], DefaultGateConfig(7))
+	b := NewGateSim(Mixtral8x7B, Table1Plans()[Mixtral8x7B.Name], DefaultGateConfig(7))
+	ia, ib := a.Next(), b.Next()
+	for l := range ia.Layers {
+		for i := range ia.Layers[l].RankMatrix.Data {
+			if ia.Layers[l].RankMatrix.Data[i] != ib.Layers[l].RankMatrix.Data[i] {
+				t.Fatal("same seed produced different traffic")
+			}
+		}
+	}
+	c := NewGateSim(Mixtral8x7B, Table1Plans()[Mixtral8x7B.Name], DefaultGateConfig(8))
+	ic := c.Next()
+	same := true
+	for i := range ic.Layers[0].RankMatrix.Data {
+		if ic.Layers[0].RankMatrix.Data[i] != ia.Layers[0].RankMatrix.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traffic")
+	}
+}
+
+func TestGateLayerTransitionStructure(t *testing.T) {
+	// Consecutive-layer loads should correlate through the transition
+	// matrix much better than a random guess: verify that predicted loads
+	// P*x match the next layer's loads in L1 better than uniform.
+	g := newTestGate(t)
+	var errTrans, errUniform float64
+	for i := 0; i < 50; i++ {
+		it := g.Next()
+		for l := 0; l+1 < len(it.Layers); l++ {
+			p := g.TrueTransition(l)
+			x := it.Layers[l].Loads
+			y := it.Layers[l+1].Loads
+			for row := range y {
+				var pred float64
+				for col := range x {
+					pred += p.At(row, col) * x[col]
+				}
+				errTrans += math.Abs(pred - y[row])
+				errUniform += math.Abs(1/float64(len(y)) - y[row])
+			}
+		}
+	}
+	if errTrans >= errUniform {
+		t.Errorf("transition structure absent: trans err %.3f >= uniform err %.3f", errTrans, errUniform)
+	}
+}
+
+func TestTransitionColumnsStochastic(t *testing.T) {
+	g := newTestGate(t)
+	for l := 0; l < Mixtral8x7B.Blocks-1; l++ {
+		tr := g.TrueTransition(l)
+		for col := 0; col < tr.Cols; col++ {
+			var s float64
+			for row := 0; row < tr.Rows; row++ {
+				s += tr.At(row, col)
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("layer %d column %d sums to %v", l, col, s)
+			}
+		}
+	}
+}
+
+func TestExpertReceiveVolume(t *testing.T) {
+	g := newTestGate(t)
+	it := g.Next()
+	v := ExpertReceiveVolume(it.Layers[0], Mixtral8x7B, g.Plan)
+	if len(v) != 8 {
+		t.Fatalf("len = %d, want 8", len(v))
+	}
+	if metrics.Sum(v) <= 0 {
+		t.Error("expert receive volumes are zero")
+	}
+	// With one expert per rank, expert volumes equal rank column sums.
+	cols := it.Layers[0].RankMatrix.ColSums()
+	for e := range v {
+		if math.Abs(v[e]-cols[e]) > 1e-6*cols[e] {
+			t.Errorf("expert %d volume %v != rank col %v", e, v[e], cols[e])
+		}
+	}
+}

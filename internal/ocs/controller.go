@@ -1,0 +1,292 @@
+package ocs
+
+import (
+	"fmt"
+	"sort"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/topo"
+)
+
+// ServerDemand aggregates an EP-rank demand matrix into the upper-triangular
+// inter-server demand of Algorithm 1 step 1: entry (i, j) with i < j holds
+// the TX+RX bytes between local servers i and j (TX and RX are provisioned
+// together, §5.2). serverLocal maps each EP rank to its local server index
+// in [0, n).
+func ServerDemand(rank *metrics.Matrix, serverLocal []int, n int) *metrics.Matrix {
+	d := metrics.NewMatrix(n, n)
+	for i := 0; i < rank.Rows; i++ {
+		for j := 0; j < rank.Cols; j++ {
+			si, sj := serverLocal[i], serverLocal[j]
+			if si == sj {
+				continue // intra-server traffic rides NVSwitch
+			}
+			lo, hi := si, sj
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			d.Add(lo, hi, rank.At(i, j))
+		}
+	}
+	return d
+}
+
+// GreedyAllocate implements Algorithm 1 steps 2–3: iteratively find the
+// bottleneck server pair — the pair whose transfer would take longest given
+// current circuit counts — and grant it one more circuit, until NIC budgets
+// stop the bottleneck pair.
+//
+// avail[i] is server i's optical degree (α). When strictBreak is true the
+// loop stops the moment the bottleneck pair cannot be served (the paper's
+// literal "Break"); otherwise that pair is excluded and allocation
+// continues with the remaining budget (the engineering reading; the
+// difference is measured by the GreedyVsUniform ablation bench).
+func GreedyAllocate(d *metrics.Matrix, avail []int, strictBreak bool) [][]int {
+	n := d.Rows
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	left := append([]int(nil), avail...)
+	excluded := make(map[[2]int]bool)
+	for {
+		// Find bottleneck: max completion time D/C, with C=0 treated as
+		// infinite (rank by demand among unallocated pairs first).
+		bi, bj := -1, -1
+		bestInf := -1.0 // best demand among C==0 pairs
+		bestT := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dem := d.At(i, j)
+				if dem <= 0 || excluded[[2]int{i, j}] {
+					continue
+				}
+				c := counts[i][j]
+				if c == 0 {
+					if dem > bestInf {
+						bestInf = dem
+						if bestInf >= 0 {
+							bi, bj = i, j
+						}
+					}
+				} else if bestInf < 0 {
+					if t := dem / float64(c); t > bestT {
+						bestT = t
+						bi, bj = i, j
+					}
+				}
+			}
+		}
+		if bi < 0 {
+			break // no demand left to serve
+		}
+		if left[bi] > 0 && left[bj] > 0 {
+			counts[bi][bj]++
+			counts[bj][bi]++
+			left[bi]--
+			left[bj]--
+			continue
+		}
+		if strictBreak {
+			break
+		}
+		excluded[[2]int{bi, bj}] = true
+	}
+	return counts
+}
+
+// RoundRobinAllocate ignores demand and spreads circuits uniformly — the
+// baseline for the greedy-vs-uniform ablation.
+func RoundRobinAllocate(n int, avail []int) [][]int {
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	left := append([]int(nil), avail...)
+	for k := 1; k <= n/2; k++ {
+		for i := 0; i < n; i++ {
+			j := (i + k) % n
+			if j == i || (2*k == n && i >= n/2) {
+				continue
+			}
+			if left[i] > 0 && left[j] > 0 {
+				counts[i][j]++
+				counts[j][i]++
+				left[i]--
+				left[j]--
+			}
+		}
+	}
+	return counts
+}
+
+// NICMapping implements Algorithm 1 steps 4: translate circuit counts into
+// concrete NIC pairs, permuting multi-link pairs across NUMA nodes so that
+// parallel circuits between two servers terminate on different NUMA hubs
+// (avoiding intra-host congestion during delegated forwarding, §5.3).
+// servers lists the region's global server indices in local order; numa
+// balancing falls back to any free NIC when the preferred hub is exhausted.
+func NICMapping(c *topo.Cluster, servers []int, counts [][]int) []topo.CircuitPair {
+	n := len(servers)
+	// Free OCS NICs per local server, grouped by NUMA node.
+	type nicPool struct {
+		byNUMA map[int][]topo.NIC
+		order  []int // NUMA ids, stable
+	}
+	pools := make([]nicPool, n)
+	for li, s := range servers {
+		p := nicPool{byNUMA: map[int][]topo.NIC{}}
+		for _, nic := range c.OCSPorts(s) {
+			if _, ok := p.byNUMA[nic.NUMA]; !ok {
+				p.order = append(p.order, nic.NUMA)
+			}
+			p.byNUMA[nic.NUMA] = append(p.byNUMA[nic.NUMA], nic)
+		}
+		sort.Ints(p.order)
+		pools[li] = p
+	}
+	take := func(li, preferNUMA int) (topo.NodeID, bool) {
+		p := &pools[li]
+		if len(p.order) == 0 {
+			return topo.NoNode, false
+		}
+		pref := p.order[preferNUMA%len(p.order)]
+		// Preferred hub first, then any hub with free NICs.
+		tryOrder := append([]int{pref}, p.order...)
+		for _, numa := range tryOrder {
+			if nics := p.byNUMA[numa]; len(nics) > 0 {
+				nic := nics[0]
+				p.byNUMA[numa] = nics[1:]
+				return nic.Node, true
+			}
+		}
+		return topo.NoNode, false
+	}
+
+	// Serve heaviest pairs first so their NUMA spreading is cleanest.
+	type pairCount struct{ i, j, k int }
+	var pcs []pairCount
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if counts[i][j] > 0 {
+				pcs = append(pcs, pairCount{i, j, counts[i][j]})
+			}
+		}
+	}
+	sort.Slice(pcs, func(a, b int) bool {
+		if pcs[a].k != pcs[b].k {
+			return pcs[a].k > pcs[b].k
+		}
+		if pcs[a].i != pcs[b].i {
+			return pcs[a].i < pcs[b].i
+		}
+		return pcs[a].j < pcs[b].j
+	})
+
+	var pairs []topo.CircuitPair
+	for _, pc := range pcs {
+		for link := 0; link < pc.k; link++ {
+			a, okA := take(pc.i, link)
+			b, okB := take(pc.j, link)
+			if !okA || !okB {
+				break // budget exhausted (counts were over-subscribed)
+			}
+			pairs = append(pairs, topo.CircuitPair{A: a, B: b})
+		}
+	}
+	return pairs
+}
+
+// Controller is one region's decentralised topology controller (§5.2).
+type Controller struct {
+	Cluster *topo.Cluster
+	Region  int
+	Device  *Device
+	// Alpha caps the optical degree per server; 0 means all OCS NICs.
+	Alpha int
+	// StrictBreak selects the literal Algorithm 1 break semantics.
+	StrictBreak bool
+	// failed servers (global indices) excluded from topology generation
+	// (§5.4 runtime reconfiguration).
+	failed map[int]bool
+}
+
+// NewController builds a controller for one region of a MixNet cluster.
+func NewController(c *topo.Cluster, region int, dev *Device) *Controller {
+	return &Controller{Cluster: c, Region: region, Device: dev, failed: map[int]bool{}}
+}
+
+// SetServerFailed marks a server excluded (or restored) for future plans.
+func (ct *Controller) SetServerFailed(server int, failed bool) {
+	if failed {
+		ct.failed[server] = true
+	} else {
+		delete(ct.failed, server)
+	}
+}
+
+// Servers returns the region's healthy servers in local order.
+func (ct *Controller) Servers() []int {
+	var out []int
+	for _, s := range ct.Cluster.Regions[ct.Region] {
+		if !ct.failed[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Plan runs Algorithm 1 on a local server-level demand matrix (indices must
+// match Servers()) and returns the NIC-level circuit pairs.
+func (ct *Controller) Plan(demand *metrics.Matrix) ([]topo.CircuitPair, error) {
+	servers := ct.Servers()
+	if demand.Rows != len(servers) || demand.Cols != len(servers) {
+		return nil, fmt.Errorf("ocs: demand %dx%d does not match %d healthy servers",
+			demand.Rows, demand.Cols, len(servers))
+	}
+	avail := make([]int, len(servers))
+	for i, s := range servers {
+		a := len(ct.Cluster.OCSPorts(s))
+		if ct.Alpha > 0 && ct.Alpha < a {
+			a = ct.Alpha
+		}
+		avail[i] = a
+	}
+	counts := GreedyAllocate(demand, avail, ct.StrictBreak)
+	return NICMapping(ct.Cluster, servers, counts), nil
+}
+
+// Apply installs the circuit pairs on the cluster graph and returns the
+// sampled reconfiguration delay in seconds (Algorithm 1 step 5). Callers
+// decide whether that delay blocks training or hides under computation
+// (§5.1, §B.2).
+func (ct *Controller) Apply(pairs []topo.CircuitPair) (float64, error) {
+	if err := ct.Cluster.SetRegionCircuits(ct.Region, pairs); err != nil {
+		return 0, err
+	}
+	if ct.Device == nil {
+		return 0, nil
+	}
+	return ct.Device.ReconfigDelay(len(pairs)), nil
+}
+
+// PlanFromRankDemand aggregates an EP-rank demand matrix (serverOfRank
+// gives each rank's global server) and plans circuits in one call.
+func (ct *Controller) PlanFromRankDemand(rank *metrics.Matrix, serverOfRank []int) ([]topo.CircuitPair, error) {
+	servers := ct.Servers()
+	local := map[int]int{}
+	for li, s := range servers {
+		local[s] = li
+	}
+	serverLocal := make([]int, len(serverOfRank))
+	for r, s := range serverOfRank {
+		li, ok := local[s]
+		if !ok {
+			// Rank on a failed/foreign server: fold into nearest healthy
+			// local server 0 so its demand still steers circuits.
+			li = 0
+		}
+		serverLocal[r] = li
+	}
+	return ct.Plan(ServerDemand(rank, serverLocal, len(servers)))
+}

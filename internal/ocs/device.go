@@ -1,0 +1,104 @@
+// Package ocs models optical circuit switches — the commodity technology
+// catalogue of Table 2, the measured Polatis control-plane timing of the
+// prototype (Figures 21–23) — and implements the paper's Algorithm 1: the
+// greedy, bottleneck-driven topology generator with NUMA-balanced NIC
+// mapping that MixNet's decentralised regional controllers run each
+// iteration.
+package ocs
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Technology is one row of Table 2.
+type Technology struct {
+	Name      string
+	Ports     int
+	DelayLow  float64 // seconds
+	DelayHigh float64 // seconds
+}
+
+// Catalog reproduces Table 2's commodity OCS technologies.
+func Catalog() []Technology {
+	return []Technology{
+		{Name: "Robotic (Telescent)", Ports: 1008, DelayLow: 60, DelayHigh: 300},
+		{Name: "Piezo (Polatis)", Ports: 576, DelayLow: 10e-3, DelayHigh: 25e-3},
+		{Name: "3D MEMS (Calient)", Ports: 320, DelayLow: 10e-3, DelayHigh: 15e-3},
+		{Name: "2D MEMS (Google Palomar)", Ports: 136, DelayLow: 0, DelayHigh: 0}, // not reported
+		{Name: "RotorNet (InFocus)", Ports: 128, DelayLow: 10e-6, DelayHigh: 10e-6},
+		{Name: "Silicon Photonics (Lightmatter)", Ports: 32, DelayLow: 7e-6, DelayHigh: 7e-6},
+		{Name: "PLZT (EpiPhotonics)", Ports: 16, DelayLow: 10e-9, DelayHigh: 10e-9},
+	}
+}
+
+// Device models the control-plane timing of one OCS. The defaults are
+// calibrated to the prototype's Polatis measurements (Appendix C):
+// per-batch reconfiguration averaging 41.4 ms for 1 pair, 42.4 ms for 4
+// and 46.8 ms for 16, with p99 under 70 ms, plus an optional multi-second
+// transceiver/NIC re-activation penalty (Figure 23) that MixNet's testbed
+// methodology excludes (burst-mode transceivers make it an engineering
+// fix, §C).
+type Device struct {
+	// BaseDelay is the mean reconfiguration latency for a single pair.
+	BaseDelay float64
+	// PerPair is the extra mean latency per additional pair in the batch.
+	PerPair float64
+	// Sigma is the log-normal shape of the latency distribution.
+	Sigma float64
+	// NICActivationMean, when positive, adds the commodity transceiver
+	// re-activation time after every reconfiguration.
+	NICActivationMean  float64
+	NICActivationSigma float64
+
+	rng *rand.Rand
+}
+
+// NewPolatisDevice returns the testbed-calibrated device.
+func NewPolatisDevice(seed int64) *Device {
+	return &Device{
+		BaseDelay: 41.44e-3,
+		PerPair:   0.354e-3, // (46.75-41.44)/15 ms per extra pair
+		Sigma:     0.16,     // p99/mean ~ 1.45
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// NewFixedDevice returns a device with a deterministic delay, used for the
+// reconfiguration-latency sweeps (Figure 28) and the 25 ms simulation
+// default (§7.1).
+func NewFixedDevice(delay float64) *Device {
+	return &Device{BaseDelay: delay, rng: rand.New(rand.NewSource(1))}
+}
+
+// ReconfigDelay samples the reconfiguration latency for a batch of pairs.
+func (d *Device) ReconfigDelay(pairs int) float64 {
+	if pairs < 1 {
+		pairs = 1
+	}
+	mean := d.BaseDelay + d.PerPair*float64(pairs-1)
+	delay := mean
+	if d.Sigma > 0 && d.rng != nil {
+		mu := math.Log(mean) - d.Sigma*d.Sigma/2
+		delay = math.Exp(mu + d.Sigma*d.rng.NormFloat64())
+	}
+	if d.NICActivationMean > 0 {
+		act := d.NICActivationMean
+		if d.NICActivationSigma > 0 && d.rng != nil {
+			mu := math.Log(d.NICActivationMean) - d.NICActivationSigma*d.NICActivationSigma/2
+			act = math.Exp(mu + d.NICActivationSigma*d.rng.NormFloat64())
+		}
+		delay += act
+	}
+	return delay
+}
+
+// WithNICActivation returns a copy of d that includes the measured
+// commodity transceiver/NIC re-activation penalty (mean 5.67 s, p99 6.33 s).
+func (d *Device) WithNICActivation() *Device {
+	cp := *d
+	cp.NICActivationMean = 5.67
+	cp.NICActivationSigma = 0.048
+	cp.rng = rand.New(rand.NewSource(99))
+	return &cp
+}

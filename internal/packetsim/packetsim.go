@@ -1,0 +1,184 @@
+// Package packetsim is an event-driven packet-level network simulator in
+// the spirit of htsim (which the paper builds on): flows are segmented into
+// MTU-sized packets, every link models store-and-forward serialisation with
+// an output queue, and sources are paced by a sliding window acknowledged
+// end-to-end.
+//
+// It is the high-fidelity substrate; internal/flowsim approximates it at
+// fluid granularity and is cross-validated against it (see crosscheck
+// tests). Use packetsim for small configurations and micro-validations,
+// flowsim for cluster-scale sweeps.
+package packetsim
+
+import (
+	"fmt"
+
+	"mixnet/internal/eventsim"
+	"mixnet/internal/topo"
+)
+
+// Config controls packetisation and pacing.
+type Config struct {
+	MTU    int64 // payload bytes per packet (default 4096)
+	Window int   // packets in flight per flow (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU <= 0 {
+		c.MTU = 4096
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	return c
+}
+
+// Flow is one byte transfer along a fixed path.
+type Flow struct {
+	ID    int
+	Path  topo.Route
+	Bytes int64
+	Start eventsim.Time
+
+	// Finish is written by Simulate: virtual time of last byte delivery.
+	Finish eventsim.Time
+
+	totalPkts int64
+	nextSeq   int64
+	delivered int64
+	ackLat    eventsim.Time
+}
+
+// Result summarises a Simulate run.
+type Result struct {
+	Makespan eventsim.Time
+	Packets  int64
+	Events   uint64
+}
+
+type sim struct {
+	g     *topo.Graph
+	cfg   Config
+	es    *eventsim.Simulator
+	busy  []eventsim.Time // per directed link: time the transmitter frees up
+	total int64
+}
+
+// Simulate runs the packet-level simulation to completion and fills in
+// per-flow Finish times.
+func Simulate(g *topo.Graph, flows []*Flow, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	s := &sim{g: g, cfg: cfg, es: eventsim.New(), busy: make([]eventsim.Time, len(g.Links))}
+
+	for _, f := range flows {
+		if f.Bytes < 0 {
+			return Result{}, fmt.Errorf("packetsim: flow %d negative bytes", f.ID)
+		}
+		for _, lid := range f.Path {
+			if !g.Link(lid).Up {
+				return Result{}, fmt.Errorf("packetsim: flow %d uses down link %d", f.ID, lid)
+			}
+		}
+		f.totalPkts = (f.Bytes + cfg.MTU - 1) / cfg.MTU
+		f.nextSeq, f.delivered = 0, 0
+		f.Finish = 0
+		f.ackLat = eventsim.FromSeconds(topo.PathLatency(g, f.Path))
+		s.total += f.totalPkts
+	}
+	for _, f := range flows {
+		f := f
+		s.es.ScheduleAt(f.Start, func() { s.startFlow(f) })
+	}
+	makespan := s.es.Run()
+	var res Result
+	res.Events = s.es.Steps()
+	res.Packets = s.total
+	for _, f := range flows {
+		if f.totalPkts == 0 && f.Finish == 0 {
+			f.Finish = f.Start + f.ackLat
+		}
+		if f.Finish > res.Makespan {
+			res.Makespan = f.Finish
+		}
+	}
+	_ = makespan
+	return res, nil
+}
+
+func (s *sim) startFlow(f *Flow) {
+	if f.totalPkts == 0 || len(f.Path) == 0 {
+		f.Finish = s.es.Now() + f.ackLat
+		if f.totalPkts > 0 {
+			f.delivered = f.totalPkts
+		}
+		return
+	}
+	w := int64(s.cfg.Window)
+	for i := int64(0); i < w && f.nextSeq < f.totalPkts; i++ {
+		s.sendNext(f)
+	}
+}
+
+// pktSize returns the wire size of packet seq of flow f (last packet may be
+// short).
+func (f *Flow) pktSize(seq int64, mtu int64) int64 {
+	if seq == f.totalPkts-1 {
+		if rem := f.Bytes - seq*mtu; rem > 0 {
+			return rem
+		}
+	}
+	return mtu
+}
+
+func (s *sim) sendNext(f *Flow) {
+	seq := f.nextSeq
+	f.nextSeq++
+	s.forward(f, seq, 0, s.es.Now())
+}
+
+// forward models packet (f, seq) arriving at hop index hop at time t and
+// being serialised onto that link.
+func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time) {
+	lid := f.Path[hop]
+	l := s.g.Link(lid)
+	size := f.pktSize(seq, s.cfg.MTU)
+	txTime := eventsim.FromSeconds(float64(size*8) / l.Bps)
+	depart := t
+	if s.busy[lid] > depart {
+		depart = s.busy[lid]
+	}
+	done := depart + txTime
+	s.busy[lid] = done
+	arrive := done + eventsim.FromSeconds(l.Latency)
+	if hop+1 < len(f.Path) {
+		s.es.ScheduleAt(arrive, func() { s.forward(f, seq, hop+1, s.es.Now()) })
+		return
+	}
+	s.es.ScheduleAt(arrive, func() { s.deliver(f) })
+}
+
+func (s *sim) deliver(f *Flow) {
+	f.delivered++
+	if f.delivered == f.totalPkts {
+		f.Finish = s.es.Now()
+		return
+	}
+	// Ack travels back; source may then release the next packet.
+	if f.nextSeq < f.totalPkts {
+		s.es.Schedule(f.ackLat, func() {
+			if f.nextSeq < f.totalPkts {
+				s.sendNext(f)
+			}
+		})
+	}
+}
+
+// Makespan runs Simulate and returns only the makespan in seconds.
+// It panics on configuration errors.
+func Makespan(g *topo.Graph, flows []*Flow, cfg Config) float64 {
+	res, err := Simulate(g, flows, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res.Makespan.Seconds()
+}

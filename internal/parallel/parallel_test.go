@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"testing"
+
+	"mixnet/internal/moe"
+	"mixnet/internal/topo"
+)
+
+func mixtralPlacement(t *testing.T) *Placement {
+	t.Helper()
+	plan := moe.Table1Plans()[moe.Mixtral8x7B.Name] // EP8 TP4 PP4 DP1 = 128 GPUs
+	c := topo.BuildFatTree(topo.DefaultSpec(16, 100*topo.Gbps))
+	pl, err := NewPlacement(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPlacementSizeMismatch(t *testing.T) {
+	c := topo.BuildFatTree(topo.DefaultSpec(4, 100*topo.Gbps))
+	if _, err := NewPlacement(c, moe.TrainPlan{EP: 8, TP: 4, PP: 4, DP: 1}); err == nil {
+		t.Error("expected GPU count mismatch error")
+	}
+}
+
+func TestPlacementTPExceedsServer(t *testing.T) {
+	c := topo.BuildFatTree(topo.DefaultSpec(2, 100*topo.Gbps))
+	if _, err := NewPlacement(c, moe.TrainPlan{EP: 1, TP: 16, PP: 1, DP: 1}); err == nil {
+		t.Error("TP=16 should be rejected (exceeds NVSwitch domain)")
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	pl := mixtralPlacement(t)
+	p := pl.Plan
+	for dp := 0; dp < p.DP; dp++ {
+		for pp := 0; pp < p.PP; pp++ {
+			for ep := 0; ep < p.EP; ep++ {
+				for tp := 0; tp < p.TP; tp++ {
+					r := Rank{DP: dp, PP: pp, EP: ep, TP: tp}
+					idx := pl.GPUIndex(r)
+					if got := pl.RankOf(idx); got != r {
+						t.Fatalf("RankOf(GPUIndex(%v)) = %v", r, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTPGroupStaysOnServer(t *testing.T) {
+	pl := mixtralPlacement(t)
+	for ep := 0; ep < 8; ep++ {
+		s0 := pl.ServerOf(Rank{PP: 1, EP: ep, TP: 0})
+		for tp := 1; tp < 4; tp++ {
+			if pl.ServerOf(Rank{PP: 1, EP: ep, TP: tp}) != s0 {
+				t.Fatalf("TP group of EP rank %d spans servers", ep)
+			}
+		}
+	}
+}
+
+func TestEPGroupContiguous(t *testing.T) {
+	pl := mixtralPlacement(t)
+	gpus := pl.EPGroupGPUs(0, 2)
+	if len(gpus) != 32 {
+		t.Fatalf("EP group size %d, want 32", len(gpus))
+	}
+	for i := 1; i < len(gpus); i++ {
+		if gpus[i] != gpus[0]+i {
+			t.Fatal("EP group GPUs not contiguous")
+		}
+	}
+	servers := pl.EPGroupServers(0, 2)
+	if len(servers) != 4 {
+		t.Errorf("EP group spans %d servers, want 4", len(servers))
+	}
+	if got := RegionServersPerEPGroup(pl.Plan, 8); got != 4 {
+		t.Errorf("RegionServersPerEPGroup = %d, want 4", got)
+	}
+}
+
+func TestEPGroupsDisjoint(t *testing.T) {
+	pl := mixtralPlacement(t)
+	seen := map[int]bool{}
+	for pp := 0; pp < 4; pp++ {
+		for _, g := range pl.EPGroupGPUs(0, pp) {
+			if seen[g] {
+				t.Fatalf("GPU %d in two EP groups", g)
+			}
+			seen[g] = true
+		}
+	}
+	if len(seen) != 128 {
+		t.Errorf("EP groups cover %d GPUs, want 128", len(seen))
+	}
+}
+
+func TestIterationVolumesMixtralShape(t *testing.T) {
+	// Figure 2: Mixtral 8x7B — TP highest (~60%), EP second (~30%),
+	// PP + DP < 6%.
+	v := IterationVolumes(moe.Mixtral8x7B, moe.Table1Plans()[moe.Mixtral8x7B.Name])
+	tp, ep, pp, dp := v.Shares()
+	if !(tp > ep && ep > pp+dp) {
+		t.Errorf("Mixtral shares tp=%.2f ep=%.2f pp=%.2f dp=%.2f: want TP > EP > PP+DP", tp, ep, pp, dp)
+	}
+	if tp < 0.45 || tp > 0.75 {
+		t.Errorf("TP share %.2f outside the paper's ~60%% ballpark", tp)
+	}
+	if ep < 0.2 || ep > 0.45 {
+		t.Errorf("EP share %.2f outside the paper's ~30%% ballpark", ep)
+	}
+}
+
+func TestIterationVolumesEPDominatesWithoutTP(t *testing.T) {
+	// Figure 2: LLaMA-MoE and Qwen-MoE (TP=1) — EP > 80%.
+	for _, m := range []moe.Model{moe.LLaMAMoE, moe.QwenMoE} {
+		v := IterationVolumes(m, moe.Table1Plans()[m.Name])
+		_, ep, _, _ := v.Shares()
+		if ep < 0.8 {
+			t.Errorf("%s EP share %.2f, want > 0.8", m.Name, ep)
+		}
+		if v.TP != 0 {
+			t.Errorf("%s TP volume %v with TP=1", m.Name, v.TP)
+		}
+	}
+}
+
+func TestGPUTrafficMatrixLocality(t *testing.T) {
+	// Figure 5: strong block-diagonal locality for Mixtral 8x7B on 128 GPUs.
+	pl := mixtralPlacement(t)
+	gs := moe.NewGateSim(moe.Mixtral8x7B, pl.Plan, moe.DefaultGateConfig(3))
+	it := gs.Next()
+	tm := GPUTrafficMatrix(pl, it, moe.Mixtral8x7B)
+	if tm.Rows != 128 {
+		t.Fatalf("matrix %dx%d, want 128x128", tm.Rows, tm.Cols)
+	}
+	loc := LocalityScore(pl, tm)
+	if loc < 0.9 {
+		t.Errorf("locality %.3f, want > 0.9 (EP+TP confined to regions)", loc)
+	}
+	if tm.Total() <= 0 {
+		t.Error("traffic matrix empty")
+	}
+}
+
+func TestGPUTrafficMatrixDPRing(t *testing.T) {
+	// With DP=2 the matrix must contain cross-replica gradient traffic.
+	plan := moe.TrainPlan{EP: 8, TP: 1, PP: 1, DP: 2, SeqLen: 128, MicroBatch: 1, NumMicroBatch: 1}
+	c := topo.BuildFatTree(topo.DefaultSpec(2, 100*topo.Gbps))
+	pl, err := NewPlacement(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := moe.NewGateSim(moe.Mixtral8x7B, plan, moe.DefaultGateConfig(4))
+	tm := GPUTrafficMatrix(pl, gs.Next(), moe.Mixtral8x7B)
+	cross := 0.0
+	for i := 0; i < 8; i++ {
+		cross += tm.At(i, i+8) + tm.At(i+8, i)
+	}
+	if cross <= 0 {
+		t.Error("no DP ring traffic between replicas")
+	}
+}
+
+func TestVolumeBreakdownZero(t *testing.T) {
+	var v VolumeBreakdown
+	tp, ep, pp, dp := v.Shares()
+	if tp != 0 || ep != 0 || pp != 0 || dp != 0 {
+		t.Error("zero breakdown should give zero shares")
+	}
+}

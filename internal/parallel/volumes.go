@@ -1,0 +1,174 @@
+package parallel
+
+import (
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+)
+
+// VolumeBreakdown is the per-parallelism total traffic of one training
+// iteration across the whole cluster, in bytes sent (Figure 2).
+type VolumeBreakdown struct {
+	TP, EP, PP, DP float64
+}
+
+// Total returns the summed volume.
+func (v VolumeBreakdown) Total() float64 { return v.TP + v.EP + v.PP + v.DP }
+
+// Shares returns each parallelism's fraction of the total.
+func (v VolumeBreakdown) Shares() (tp, ep, pp, dp float64) {
+	t := v.Total()
+	if t == 0 {
+		return 0, 0, 0, 0
+	}
+	return v.TP / t, v.EP / t, v.PP / t, v.DP / t
+}
+
+// IterationVolumes computes the analytic per-parallelism traffic volumes of
+// one training iteration for (m, p), following the Megatron communication
+// pattern:
+//
+//   - TP: 2 all-reduces per MoE block per micro-batch (attention output and
+//     expert output), doubled for the backward pass, ring-all-reduce cost
+//     2*S*(t-1) bytes sent per all-reduce of payload S (zero when TP=1);
+//     sequence parallelism halves the payload, folded into the constant.
+//   - EP: 4 all-to-alls per block per micro-batch (§5.1), off-rank fraction
+//     (1 - 1/EP), payload tokens*topK*tokenBytes per rank.
+//   - PP: activation transfer per stage boundary per micro-batch, forward
+//     and backward.
+//   - DP: gradient ring all-reduce per replica group once per iteration.
+func IterationVolumes(m moe.Model, p moe.TrainPlan) VolumeBreakdown {
+	var v VolumeBreakdown
+	tokens := float64(p.TokensPerMicroBatch())
+	tokenVol := tokens * m.TokenBytes() // bytes of one micro-batch's hidden states
+	mb := float64(p.NumMicroBatch)
+	if mb == 0 {
+		mb = 1
+	}
+	blocks := float64(m.Blocks)
+	dp := float64(p.DP)
+
+	// TP: per (block, micro-batch, EP rank, replica): 2 all-reduces fwd+bwd
+	// combined at sequence-parallel volume — effective 2 full-size ring
+	// all-reduces, each sending 2*S*(t-1) bytes within the TP group.
+	if p.TP > 1 {
+		perGroup := 2 * (2 * tokenVol * float64(p.TP-1))
+		v.TP = blocks * mb * float64(p.EP) * dp * perGroup
+	}
+
+	// EP: 4 all-to-alls, each rank dispatching tokens*topK*tokenBytes, of
+	// which (1 - 1/EP) leaves the rank.
+	dispatch := tokens * float64(m.TopK) * m.TokenBytes()
+	v.EP = blocks * mb * dp * float64(p.EP) * dispatch * (1 - 1/float64(p.EP)) * 4
+
+	// PP: forward + backward activation transfer per boundary per
+	// micro-batch, per EP rank stream, per replica.
+	if p.PP > 1 {
+		v.PP = 2 * float64(p.PP-1) * mb * float64(p.EP) * dp * tokenVol
+	}
+
+	// DP: ring all-reduce of the gradient shards. Summed over all shard
+	// groups this moves 2*(d-1)/d * totalGradBytes per replica set.
+	if p.DP > 1 {
+		v.DP = 2 * float64(p.DP-1) / dp * m.GradBytes() * dp // = 2*(d-1)*grad/d * d
+	}
+	return v
+}
+
+// GPUTrafficMatrix accumulates one iteration's traffic onto GPU pairs for
+// the Figure 5 locality heat-map: EP all-to-all volumes from the gate
+// simulator plus deterministic TP/PP/DP flows from the plan.
+func GPUTrafficMatrix(pl *Placement, it *moe.Iteration, m moe.Model) *metrics.Matrix {
+	p := pl.Plan
+	n := pl.Cluster.GPUCount()
+	out := metrics.NewMatrix(n, n)
+	tokens := float64(p.TokensPerMicroBatch())
+	tokenVol := tokens * m.TokenBytes()
+	mb := float64(p.NumMicroBatch)
+	if mb == 0 {
+		mb = 1
+	}
+
+	blocksPerStage := (m.Blocks + p.PP - 1) / p.PP
+	for dp := 0; dp < p.DP; dp++ {
+		for pp := 0; pp < p.PP; pp++ {
+			// EP: the stage's layers' rank matrices, 4 A2As each, spread
+			// over TP shards.
+			for li := 0; li < blocksPerStage; li++ {
+				l := pp*blocksPerStage + li
+				if l >= len(it.Layers) {
+					break
+				}
+				rm := it.Layers[l].RankMatrix
+				for i := 0; i < p.EP; i++ {
+					for j := 0; j < p.EP; j++ {
+						if i == j {
+							continue
+						}
+						vol := rm.At(i, j) * 4 * mb / float64(p.TP)
+						for tp := 0; tp < p.TP; tp++ {
+							a := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: i, TP: tp})
+							b := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: j, TP: tp})
+							out.Add(a, b, vol)
+						}
+					}
+				}
+				// TP ring all-reduces within each EP rank's TP group.
+				if p.TP > 1 {
+					per := 2 * 2 * tokenVol * mb / float64(p.TP)
+					for ep := 0; ep < p.EP; ep++ {
+						for tp := 0; tp < p.TP; tp++ {
+							a := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: ep, TP: tp})
+							b := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: ep, TP: (tp + 1) % p.TP})
+							out.Add(a, b, per)
+						}
+					}
+				}
+			}
+			// PP: stage boundary flows (leader GPU to leader GPU).
+			if pp+1 < p.PP {
+				a := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: 0, TP: 0})
+				b := pl.GPUIndex(Rank{DP: dp, PP: pp + 1, EP: 0, TP: 0})
+				out.Add(a, b, 2*mb*tokenVol)
+				out.Add(b, a, 2*mb*tokenVol)
+			}
+		}
+	}
+	// DP ring among corresponding ranks of each replica.
+	if p.DP > 1 {
+		shard := m.GradBytes() / float64(p.PP*p.EP*p.TP)
+		per := 2 * shard * float64(p.DP-1) / float64(p.DP)
+		for pp := 0; pp < p.PP; pp++ {
+			for ep := 0; ep < p.EP; ep++ {
+				for tp := 0; tp < p.TP; tp++ {
+					for dp := 0; dp < p.DP; dp++ {
+						a := pl.GPUIndex(Rank{DP: dp, PP: pp, EP: ep, TP: tp})
+						b := pl.GPUIndex(Rank{DP: (dp + 1) % p.DP, PP: pp, EP: ep, TP: tp})
+						out.Add(a, b, per)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LocalityScore returns the fraction of the matrix's traffic that stays
+// within one EP group span (the block-diagonal structure visible in
+// Figure 5).
+func LocalityScore(pl *Placement, m *metrics.Matrix) float64 {
+	span := pl.Plan.EP * pl.Plan.TP
+	var in, total float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			total += v
+			if i/span == j/span {
+				in += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return in / total
+}

@@ -1,0 +1,223 @@
+// Package predict implements MixNet-Copilot (§B.1): online estimation of
+// the layer-to-layer expert-load transition matrix so the topology of the
+// forward pass's first all-to-all can be reconfigured proactively.
+//
+// The estimator solves the paper's Equation 1 — a windowed, weighted least
+// squares over recent iterations with the transition matrix constrained to
+// be column-stochastic — using projected gradient descent with an exact
+// per-column simplex projection (the stdlib substitute for scipy's SLSQP;
+// same objective, same constraints).
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mixnet/internal/metrics"
+)
+
+// Predictor forecasts the next layer's expert-load distribution from the
+// current layer's.
+type Predictor interface {
+	Predict(x []float64) []float64
+}
+
+// Estimator learns a column-stochastic transition matrix P minimising
+// sum_i w_i * ||y_i - P x_i||^2 over a sliding window, where (x_i, y_i) are
+// consecutive-layer load distributions observed in recent iterations.
+type Estimator struct {
+	N      int     // number of experts
+	Window int     // observations kept
+	Decay  float64 // per-step weight decay (recent iterations weigh more)
+	LR     float64 // projected-gradient step size
+	Steps  int     // gradient steps per Fit
+
+	P  *metrics.Matrix
+	xs [][]float64
+	ys [][]float64
+}
+
+// NewEstimator creates an estimator for n experts with the given window.
+func NewEstimator(n, window int) *Estimator {
+	e := &Estimator{N: n, Window: window, Decay: 0.9, LR: 0.5, Steps: 30}
+	e.P = metrics.NewMatrix(n, n)
+	// Initialise at the uniform transition.
+	for i := range e.P.Data {
+		e.P.Data[i] = 1 / float64(n)
+	}
+	return e
+}
+
+// Observe records one (previous-layer, next-layer) load pair. Inputs are
+// copied. Call Fit to update the matrix.
+func (e *Estimator) Observe(x, y []float64) error {
+	if len(x) != e.N || len(y) != e.N {
+		return fmt.Errorf("predict: observation size %d/%d, want %d", len(x), len(y), e.N)
+	}
+	e.xs = append(e.xs, append([]float64(nil), x...))
+	e.ys = append(e.ys, append([]float64(nil), y...))
+	if len(e.xs) > e.Window {
+		e.xs = e.xs[1:]
+		e.ys = e.ys[1:]
+	}
+	return nil
+}
+
+// Fit runs projected gradient descent on the windowed objective.
+func (e *Estimator) Fit() {
+	k := len(e.xs)
+	if k == 0 {
+		return
+	}
+	n := e.N
+	grad := make([]float64, n*n)
+	resid := make([]float64, n)
+	for step := 0; step < e.Steps; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		w := 1.0
+		// Newest observation last; weight w_i = Decay^(k-1-i).
+		for i := k - 1; i >= 0; i-- {
+			x, y := e.xs[i], e.ys[i]
+			// resid = P x - y
+			for r := 0; r < n; r++ {
+				var s float64
+				row := e.P.Data[r*n : (r+1)*n]
+				for c := 0; c < n; c++ {
+					s += row[c] * x[c]
+				}
+				resid[r] = s - y[r]
+			}
+			for r := 0; r < n; r++ {
+				g := grad[r*n : (r+1)*n]
+				fr := 2 * w * resid[r]
+				for c := 0; c < n; c++ {
+					g[c] += fr * x[c]
+				}
+			}
+			w *= e.Decay
+		}
+		for i := range e.P.Data {
+			e.P.Data[i] -= e.LR * grad[i]
+		}
+		projectColumns(e.P)
+	}
+}
+
+// projectColumns projects every column of P onto the probability simplex.
+func projectColumns(p *metrics.Matrix) {
+	n := p.Cols
+	col := make([]float64, p.Rows)
+	for c := 0; c < n; c++ {
+		for r := 0; r < p.Rows; r++ {
+			col[r] = p.At(r, c)
+		}
+		proj := ProjectSimplex(col)
+		for r := 0; r < p.Rows; r++ {
+			p.Set(r, c, proj[r])
+		}
+	}
+}
+
+// ProjectSimplex returns the Euclidean projection of v onto the probability
+// simplex {w : w_i >= 0, sum w_i = 1} (Held–Wolfe–Crowder algorithm).
+func ProjectSimplex(v []float64) []float64 {
+	n := len(v)
+	u := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cum, theta float64
+	rho := -1
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		if u[i]-(cum-1)/float64(i+1) > 0 {
+			rho = i
+			theta = (cum - 1) / float64(i+1)
+		} else {
+			cum -= u[i] // undo; past the support
+		}
+	}
+	if rho < 0 {
+		// Degenerate input: return uniform.
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	out := make([]float64, n)
+	for i, x := range v {
+		if d := x - theta; d > 0 {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// Predict implements Predictor: y = P x.
+func (e *Estimator) Predict(x []float64) []float64 {
+	n := e.N
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		var s float64
+		row := e.P.Data[r*n : (r+1)*n]
+		for c := 0; c < n && c < len(x); c++ {
+			s += row[c] * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Unchanged is the "reuse previous layer's distribution" baseline.
+type Unchanged struct{}
+
+// Predict returns a copy of x.
+func (Unchanged) Predict(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// Random is the "uniform bandwidth allocation" baseline: a random
+// distribution independent of the input.
+type Random struct{ Rng *rand.Rand }
+
+// Predict returns a random point on the simplex.
+func (r Random) Predict(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = r.Rng.ExpFloat64()
+	}
+	return metrics.Normalize(out)
+}
+
+// TopKAccuracy measures the overlap between the predicted and true top-k
+// expert sets: |topk(pred) ∩ topk(truth)| / k (Figure 19's metric).
+func TopKAccuracy(pred, truth []float64, k int) float64 {
+	if k <= 0 || len(pred) == 0 {
+		return 0
+	}
+	if k > len(pred) {
+		k = len(pred)
+	}
+	ps := topKSet(pred, k)
+	ts := topKSet(truth, k)
+	hit := 0
+	for e := range ps {
+		if ts[e] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+func topKSet(v []float64, k int) map[int]bool {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	out := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		out[idx[i]] = true
+	}
+	return out
+}

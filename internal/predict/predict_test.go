@@ -1,0 +1,220 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+)
+
+func TestProjectSimplexBasic(t *testing.T) {
+	got := ProjectSimplex([]float64{0.5, 0.5})
+	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.5) > 1e-12 {
+		t.Errorf("already-on-simplex changed: %v", got)
+	}
+	got = ProjectSimplex([]float64{2, 0})
+	if math.Abs(got[0]-1) > 1e-12 || got[1] != 0 {
+		t.Errorf("ProjectSimplex([2,0]) = %v, want [1,0]", got)
+	}
+	got = ProjectSimplex([]float64{-5, -5, -5})
+	if math.Abs(metrics.Sum(got)-1) > 1e-9 {
+		t.Errorf("degenerate projection sums to %v", metrics.Sum(got))
+	}
+}
+
+func TestProjectSimplexProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		p := ProjectSimplex(raw)
+		var s float64
+		for _, v := range p {
+			if v < -1e-12 {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSimplexIsNearestPoint(t *testing.T) {
+	// For a point already ordered, compare against brute-force over a grid.
+	v := []float64{0.9, 0.4}
+	p := ProjectSimplex(v)
+	want := []float64{0.75, 0.25} // midpoint shift: (0.9+0.4-1)/2 = 0.15
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-9 {
+			t.Errorf("projection = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestEstimatorRecoversTransition(t *testing.T) {
+	// Ground truth: a sparse column-stochastic P; observations y = P x.
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	truth := metrics.NewMatrix(n, n)
+	for c := 0; c < n; c++ {
+		col := make([]float64, n)
+		for r := range col {
+			col[r] = rng.ExpFloat64() * math.Exp(2*rng.NormFloat64())
+		}
+		col = metrics.Normalize(col)
+		for r := 0; r < n; r++ {
+			truth.Set(r, c, col[r])
+		}
+	}
+	e := NewEstimator(n, 32)
+	apply := func(x []float64) []float64 {
+		y := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				y[r] += truth.At(r, c) * x[c]
+			}
+		}
+		return y
+	}
+	for i := 0; i < 60; i++ {
+		x := make([]float64, n)
+		for j := range x {
+			x[j] = rng.ExpFloat64()
+		}
+		x = metrics.Normalize(x)
+		if err := e.Observe(x, apply(x)); err != nil {
+			t.Fatal(err)
+		}
+		e.Fit()
+	}
+	// Prediction error on fresh inputs must beat the Unchanged baseline.
+	var errEst, errUnchanged float64
+	for i := 0; i < 20; i++ {
+		x := metrics.Normalize([]float64{rng.ExpFloat64(), rng.ExpFloat64(), rng.ExpFloat64(), rng.ExpFloat64(),
+			rng.ExpFloat64(), rng.ExpFloat64(), rng.ExpFloat64(), rng.ExpFloat64()})
+		y := apply(x)
+		p := e.Predict(x)
+		u := (Unchanged{}).Predict(x)
+		for j := range y {
+			errEst += math.Abs(p[j] - y[j])
+			errUnchanged += math.Abs(u[j] - y[j])
+		}
+	}
+	if errEst >= errUnchanged {
+		t.Errorf("estimator L1 %.4f !< unchanged baseline %.4f", errEst, errUnchanged)
+	}
+}
+
+func TestEstimatorObserveSizeMismatch(t *testing.T) {
+	e := NewEstimator(4, 8)
+	if err := e.Observe([]float64{1, 2}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("expected size error")
+	}
+}
+
+func TestEstimatorWindowBounded(t *testing.T) {
+	e := NewEstimator(2, 3)
+	for i := 0; i < 10; i++ {
+		e.Observe([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	}
+	if len(e.xs) != 3 {
+		t.Errorf("window holds %d, want 3", len(e.xs))
+	}
+}
+
+func TestEstimatorColumnsStayStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := NewEstimator(6, 10)
+	for i := 0; i < 20; i++ {
+		x := make([]float64, 6)
+		y := make([]float64, 6)
+		for j := range x {
+			x[j] = rng.Float64()
+			y[j] = rng.Float64()
+		}
+		e.Observe(metrics.Normalize(x), metrics.Normalize(y))
+		e.Fit()
+	}
+	for c := 0; c < 6; c++ {
+		var s float64
+		for r := 0; r < 6; r++ {
+			v := e.P.At(r, c)
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("P[%d][%d] = %v out of [0,1]", r, c, v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("column %d sums to %v", c, s)
+		}
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	pred := []float64{0.4, 0.3, 0.2, 0.1}
+	truth := []float64{0.1, 0.2, 0.3, 0.4}
+	if got := TopKAccuracy(pred, truth, 2); got != 0 {
+		t.Errorf("disjoint top-2 accuracy = %v, want 0", got)
+	}
+	if got := TopKAccuracy(pred, pred, 3); got != 1 {
+		t.Errorf("self accuracy = %v, want 1", got)
+	}
+	if got := TopKAccuracy(pred, truth, 4); got != 1 {
+		t.Errorf("full-set accuracy = %v, want 1", got)
+	}
+	if got := TopKAccuracy(pred, truth, 0); got != 0 {
+		t.Errorf("k=0 accuracy = %v, want 0", got)
+	}
+	if got := TopKAccuracy(pred, truth, 99); got != 1 {
+		t.Errorf("k>n accuracy = %v, want 1 (clamped)", got)
+	}
+}
+
+// Figure 19's qualitative result: on gate-simulator traces, Copilot beats
+// both the Unchanged and Random baselines at top-1..4 accuracy.
+func TestCopilotBeatsBaselinesOnGateTraces(t *testing.T) {
+	m := moe.Mixtral8x7B
+	plan := moe.Table1Plans()[m.Name]
+	gs := moe.NewGateSim(m, plan, moe.DefaultGateConfig(21))
+	est := NewEstimator(m.Experts, 16)
+	random := Random{Rng: rand.New(rand.NewSource(3))}
+	var accEst, accUnch, accRand float64
+	samples := 0
+	const layer = 4
+	for i := 0; i < 120; i++ {
+		it := gs.Next()
+		x := it.Layers[layer].Loads
+		y := it.Layers[layer+1].Loads
+		if i >= 20 { // warm-up before scoring
+			accEst += TopKAccuracy(est.Predict(x), y, 2)
+			accUnch += TopKAccuracy((Unchanged{}).Predict(x), y, 2)
+			accRand += TopKAccuracy(random.Predict(x), y, 2)
+			samples++
+		}
+		est.Observe(x, y)
+		est.Fit()
+	}
+	accEst /= float64(samples)
+	accUnch /= float64(samples)
+	accRand /= float64(samples)
+	if accEst <= accRand {
+		t.Errorf("Copilot %.3f !> random %.3f", accEst, accRand)
+	}
+	if accEst <= accUnch {
+		t.Errorf("Copilot %.3f !> unchanged %.3f", accEst, accUnch)
+	}
+	if accEst < 0.5 {
+		t.Errorf("Copilot top-2 accuracy %.3f too low for predictable traces", accEst)
+	}
+}

@@ -1,0 +1,252 @@
+// Package topo models GPU-cluster interconnect topologies as explicit
+// directed graphs: GPUs, NVSwitch scale-up fabrics, NUMA/PCIe hubs, NICs,
+// electrical packet switches (ToR/Agg/Core), and optical circuit links.
+//
+// It provides builders for the five fabrics evaluated in the MixNet paper
+// (Fat-tree, over-subscribed Fat-tree, Rail-optimized, TopoOpt, MixNet) plus
+// the NVL72-style high-radix scale-up domain of §8, and generic shortest-path
+// ECMP routing over the resulting graphs.
+package topo
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node in a Graph.
+type NodeID int32
+
+// LinkID identifies a directed link in a Graph.
+type LinkID int32
+
+// Invalid sentinel IDs.
+const (
+	NoNode NodeID = -1
+	NoLink LinkID = -1
+)
+
+// Kind classifies a node.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindGPU Kind = iota
+	KindNVSwitch
+	KindNUMAHub
+	KindNIC
+	KindTor
+	KindAgg
+	KindCore
+	KindPatch // TopoOpt patch-panel (passive; circuits only)
+)
+
+var kindNames = [...]string{"gpu", "nvswitch", "numahub", "nic", "tor", "agg", "core", "patch"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Node is a vertex in the interconnect graph.
+type Node struct {
+	ID     NodeID
+	Kind   Kind
+	Name   string
+	Server int // owning server index, or -1 for fabric switches
+	NUMA   int // NUMA node within the server, or -1
+	Region int // reconfigurable high-bandwidth-domain region, or -1
+}
+
+// Link is a directed edge. Physical duplex cables are represented as two
+// directed links (see AddDuplex).
+type Link struct {
+	ID      LinkID
+	From    NodeID
+	To      NodeID
+	Bps     float64 // capacity in bits per second
+	Latency float64 // propagation delay in seconds
+	Up      bool    // false when failed or (for circuits) disconnected
+	Circuit bool    // true for OCS/patch-panel optical circuits
+}
+
+// Graph is a mutable directed multigraph.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+	out   [][]LinkID // adjacency: outgoing link IDs per node
+	in    [][]LinkID
+	epoch uint64 // bumped on every mutation; used by route caches
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Epoch returns a counter that changes whenever the graph is mutated.
+// Route caches key on it.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind Kind, name string, server, numa, region int) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name, Server: server, NUMA: numa, Region: region})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.epoch++
+	return id
+}
+
+// AddLink appends one directed link and returns its ID.
+func (g *Graph) AddLink(from, to NodeID, bps, latency float64) LinkID {
+	id := LinkID(len(g.Links))
+	g.Links = append(g.Links, Link{ID: id, From: from, To: to, Bps: bps, Latency: latency, Up: true})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.epoch++
+	return id
+}
+
+// AddDuplex adds a bidirectional link pair and returns both directed IDs.
+func (g *Graph) AddDuplex(a, b NodeID, bps, latency float64) (ab, ba LinkID) {
+	ab = g.AddLink(a, b, bps, latency)
+	ba = g.AddLink(b, a, bps, latency)
+	return ab, ba
+}
+
+// AddCircuit adds a duplex optical circuit between two NIC (or GPU-CPO)
+// nodes. Circuits are marked so they can be torn down on reconfiguration.
+func (g *Graph) AddCircuit(a, b NodeID, bps, latency float64) (ab, ba LinkID) {
+	ab, ba = g.AddDuplex(a, b, bps, latency)
+	g.Links[ab].Circuit = true
+	g.Links[ba].Circuit = true
+	return ab, ba
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) *Link { return &g.Links[id] }
+
+// Out returns the outgoing link IDs of n.
+func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
+
+// In returns the incoming link IDs of n.
+func (g *Graph) In(n NodeID) []LinkID { return g.in[n] }
+
+// SetLinkUp marks a directed link up or down (failure injection).
+func (g *Graph) SetLinkUp(id LinkID, up bool) {
+	if g.Links[id].Up != up {
+		g.Links[id].Up = up
+		g.epoch++
+	}
+}
+
+// SetDuplexUp flips both directions of a duplex pair created by AddDuplex,
+// identified by either directed ID (the pair is id^1 by construction when
+// both were added consecutively). Callers that kept both IDs should prefer
+// calling SetLinkUp twice; this helper assumes consecutive allocation.
+func (g *Graph) SetDuplexUp(ab LinkID, up bool) {
+	g.SetLinkUp(ab, up)
+	// Duplex pairs are allocated consecutively (ab even offset first).
+	other := ab ^ 1
+	if int(other) < len(g.Links) {
+		l, o := g.Links[ab], g.Links[other]
+		if l.From == o.To && l.To == o.From {
+			g.SetLinkUp(other, up)
+		}
+	}
+}
+
+// RemoveCircuits deletes (marks down and detaches) every circuit link whose
+// endpoint region matches region (-1 for all). The links remain allocated
+// (IDs stay stable) but are removed from adjacency so routing ignores them.
+func (g *Graph) RemoveCircuits(region int) int {
+	n := 0
+	for i := range g.Links {
+		l := &g.Links[i]
+		if !l.Circuit || l.detached() {
+			continue
+		}
+		if region >= 0 && g.Nodes[l.From].Region != region && g.Nodes[l.To].Region != region {
+			continue
+		}
+		g.detachLink(LinkID(i))
+		n++
+	}
+	if n > 0 {
+		g.epoch++
+	}
+	return n
+}
+
+func (l *Link) detached() bool { return l.From == NoNode }
+
+func (g *Graph) detachLink(id LinkID) {
+	l := &g.Links[id]
+	g.out[l.From] = removeLinkID(g.out[l.From], id)
+	g.in[l.To] = removeLinkID(g.in[l.To], id)
+	l.From, l.To = NoNode, NoNode
+	l.Up = false
+}
+
+func removeLinkID(s []LinkID, id LinkID) []LinkID {
+	for i, v := range s {
+		if v == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// NodesOfKind returns all node IDs with the given kind.
+func (g *Graph) NodesOfKind(k Kind) []NodeID {
+	var out []NodeID
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == k {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// CountLinks returns the number of attached (non-detached) links, counting
+// each duplex pair twice.
+func (g *Graph) CountLinks() int {
+	n := 0
+	for i := range g.Links {
+		if !g.Links[i].detached() {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate performs internal consistency checks and returns the first
+// problem found, or nil.
+func (g *Graph) Validate() error {
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.detached() {
+			continue
+		}
+		if int(l.From) >= len(g.Nodes) || int(l.To) >= len(g.Nodes) {
+			return fmt.Errorf("link %d references missing node", i)
+		}
+		if l.Bps <= 0 {
+			return fmt.Errorf("link %d has non-positive bandwidth", i)
+		}
+		if l.Latency < 0 {
+			return fmt.Errorf("link %d has negative latency", i)
+		}
+	}
+	for n, links := range g.out {
+		for _, id := range links {
+			if g.Links[id].From != NodeID(n) {
+				return fmt.Errorf("adjacency mismatch at node %d link %d", n, id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package topo
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Route is an ordered list of directed link IDs from a source to a
+// destination node.
+type Route []LinkID
+
+// ErrNoRoute is returned when no path exists (e.g. after failures).
+var ErrNoRoute = errors.New("topo: no route")
+
+// Router computes paths over a Graph. flowKey seeds ECMP hashing so
+// distinct flows between the same endpoints can take different equal-cost
+// paths, while a single flow is stable.
+type Router interface {
+	Route(src, dst NodeID, flowKey uint64) (Route, error)
+}
+
+// BFSRouter is a generic shortest-path ECMP router. It caches per-destination
+// distance fields and invalidates them when the graph epoch changes.
+//
+// Path selection walks from src towards dst, at each hop choosing among the
+// neighbours that strictly decrease the distance to dst, hashed by
+// (flowKey, hop, node) — per-hop ECMP as practised in Clos fabrics.
+type BFSRouter struct {
+	G *Graph
+
+	epoch uint64
+	dist  map[NodeID][]int32 // dst -> distance of every node to dst (hops), -1 unreachable
+	queue []NodeID           // scratch
+}
+
+// NewBFSRouter creates a router over g.
+func NewBFSRouter(g *Graph) *BFSRouter {
+	return &BFSRouter{G: g, dist: make(map[NodeID][]int32)}
+}
+
+// Invalidate drops all cached distance fields. Callers normally do not need
+// this: the cache self-invalidates on graph mutation via the epoch counter.
+func (r *BFSRouter) Invalidate() { r.dist = make(map[NodeID][]int32) }
+
+func (r *BFSRouter) distField(dst NodeID) []int32 {
+	if r.epoch != r.G.Epoch() {
+		r.Invalidate()
+		r.epoch = r.G.Epoch()
+	}
+	if d, ok := r.dist[dst]; ok {
+		return d
+	}
+	g := r.G
+	d := make([]int32, len(g.Nodes))
+	for i := range d {
+		d[i] = -1
+	}
+	d[dst] = 0
+	q := r.queue[:0]
+	q = append(q, dst)
+	for len(q) > 0 {
+		n := q[0]
+		q = q[1:]
+		// Walk incoming links: we want distance *towards* dst.
+		for _, lid := range g.in[n] {
+			l := &g.Links[lid]
+			if !l.Up {
+				continue
+			}
+			if d[l.From] == -1 {
+				d[l.From] = d[n] + 1
+				q = append(q, l.From)
+			}
+		}
+	}
+	r.queue = q[:0]
+	r.dist[dst] = d
+	return d
+}
+
+// hash64 mixes inputs with a splitmix64-style finaliser.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route implements Router.
+func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
+	if src == dst {
+		return nil, nil
+	}
+	g := r.G
+	d := r.distField(dst)
+	if d[src] < 0 {
+		return nil, ErrNoRoute
+	}
+	route := make(Route, 0, d[src])
+	cur := src
+	hop := 0
+	for cur != dst {
+		want := d[cur] - 1
+		// Gather candidate links that strictly approach dst.
+		var cands []LinkID
+		for _, lid := range g.out[cur] {
+			l := &g.Links[lid]
+			if l.Up && d[l.To] == want {
+				cands = append(cands, lid)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, ErrNoRoute
+		}
+		var pick LinkID
+		if len(cands) == 1 {
+			pick = cands[0]
+		} else {
+			h := hash64(flowKey ^ hash64(uint64(cur)<<16^uint64(hop)))
+			pick = cands[h%uint64(len(cands))]
+		}
+		route = append(route, pick)
+		cur = g.Links[pick].To
+		hop++
+		if hop > len(g.Nodes) {
+			return nil, errors.New("topo: routing loop")
+		}
+	}
+	return route, nil
+}
+
+// PathLatency sums propagation latency along a route.
+func PathLatency(g *Graph, rt Route) float64 {
+	var s float64
+	for _, id := range rt {
+		s += g.Links[id].Latency
+	}
+	return s
+}
+
+// PathMinBandwidth returns the bottleneck capacity along a route
+// (+Inf semantics: returns 0 for an empty route).
+func PathMinBandwidth(g *Graph, rt Route) float64 {
+	if len(rt) == 0 {
+		return 0
+	}
+	m := g.Links[rt[0]].Bps
+	for _, id := range rt[1:] {
+		if b := g.Links[id].Bps; b < m {
+			m = b
+		}
+	}
+	return m
+}
+
+// FlowKey builds a stable ECMP key from a (src, dst, salt) triple.
+func FlowKey(src, dst NodeID, salt uint64) uint64 {
+	return hash64(uint64(src)<<32 | uint64(uint32(dst))&0xffffffff ^ bits.RotateLeft64(salt, 17))
+}

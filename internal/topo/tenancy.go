@@ -1,0 +1,72 @@
+package topo
+
+import "fmt"
+
+// Multi-tenant support (§9): MixNet's regional OCS high-bandwidth domains
+// can be reconfigured as isolated sub-networks for small tenant jobs. A
+// tenant owns a set of regions; isolation removes every circuit that would
+// cross a tenant boundary and restricts future planning to intra-tenant
+// circuits.
+
+// Tenant is a named set of regions.
+type Tenant struct {
+	Name    string
+	Regions []int
+}
+
+// IsolateTenants validates that the tenants partition disjoint regions and
+// tears down any circuit whose endpoints belong to different tenants
+// (cross-tenant circuits cannot exist under isolation; intra-tenant
+// circuits are preserved). It returns the number of circuits removed.
+func (c *Cluster) IsolateTenants(tenants []Tenant) (int, error) {
+	owner := map[int]int{} // region -> tenant index
+	for ti, t := range tenants {
+		for _, r := range t.Regions {
+			if r < 0 || r >= len(c.Regions) {
+				return 0, fmt.Errorf("topo: tenant %q references region %d of %d", t.Name, r, len(c.Regions))
+			}
+			if prev, dup := owner[r]; dup {
+				return 0, fmt.Errorf("topo: region %d claimed by both %q and %q",
+					r, tenants[prev].Name, t.Name)
+			}
+			owner[r] = ti
+		}
+	}
+	removed := 0
+	for region := range c.Regions {
+		rc := c.ocs[region]
+		kept := rc.pairs[:0]
+		var keptLinks []LinkID
+		for i, p := range rc.pairs {
+			ta, okA := owner[c.G.Nodes[p.A].Region]
+			tb, okB := owner[c.G.Nodes[p.B].Region]
+			cross := okA && okB && ta != tb
+			if cross {
+				// Tear down both directed links of the circuit.
+				for _, id := range rc.linkIDs[2*i : 2*i+2] {
+					if !c.G.Links[id].detached() {
+						c.G.detachLink(id)
+					}
+				}
+				removed++
+				continue
+			}
+			kept = append(kept, p)
+			keptLinks = append(keptLinks, rc.linkIDs[2*i], rc.linkIDs[2*i+1])
+		}
+		rc.pairs = kept
+		rc.linkIDs = keptLinks
+	}
+	return removed, nil
+}
+
+// TenantServers returns the global server indices a tenant spans.
+func (c *Cluster) TenantServers(t Tenant) []int {
+	var out []int
+	for _, r := range t.Regions {
+		if r >= 0 && r < len(c.Regions) {
+			out = append(out, c.Regions[r]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package topo
+
+import "testing"
+
+func TestIsolateTenantsRemovesCrossCircuits(t *testing.T) {
+	c := BuildMixNet(DefaultSpec(16, 100*Gbps)) // 2 regions of 8 servers
+	// Install a cross-region circuit by hand (region 0's table owns it).
+	a := c.Servers[0].OCSNICs()[5].Node
+	b := c.Servers[15].OCSNICs()[5].Node
+	pairs := append(c.RegionCircuits(0), CircuitPair{A: a, B: b})
+	if err := c.SetRegionCircuits(0, pairs); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c.IsolateTenants([]Tenant{
+		{Name: "job-a", Regions: []int{0}},
+		{Name: "job-b", Regions: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("removed %d circuits, want 1 (only the cross-tenant one)", removed)
+	}
+	// Intra-region circuits survive.
+	if len(c.RegionCircuits(0)) == 0 {
+		t.Error("intra-tenant circuits were destroyed")
+	}
+	for _, p := range c.RegionCircuits(0) {
+		ra, rb := c.G.Nodes[p.A].Region, c.G.Nodes[p.B].Region
+		if ra != rb {
+			t.Error("cross-tenant circuit survived isolation")
+		}
+	}
+	if err := c.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolateTenantsValidation(t *testing.T) {
+	c := BuildMixNet(DefaultSpec(16, 100*Gbps))
+	if _, err := c.IsolateTenants([]Tenant{{Name: "x", Regions: []int{9}}}); err == nil {
+		t.Error("out-of-range region accepted")
+	}
+	if _, err := c.IsolateTenants([]Tenant{
+		{Name: "x", Regions: []int{0}},
+		{Name: "y", Regions: []int{0}},
+	}); err == nil {
+		t.Error("overlapping tenants accepted")
+	}
+}
+
+func TestTenantServers(t *testing.T) {
+	c := BuildMixNet(DefaultSpec(16, 100*Gbps))
+	servers := c.TenantServers(Tenant{Name: "x", Regions: []int{1}})
+	if len(servers) != 8 || servers[0] != 8 {
+		t.Errorf("TenantServers = %v, want servers 8..15", servers)
+	}
+}
+
+func TestIsolatedTenantsStillInternallyRoutable(t *testing.T) {
+	c := BuildMixNet(DefaultSpec(16, 100*Gbps))
+	if _, err := c.IsolateTenants([]Tenant{
+		{Name: "a", Regions: []int{0}},
+		{Name: "b", Regions: []int{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewBFSRouter(c.G)
+	// Intra-tenant OCS connectivity preserved.
+	if _, err := r.Route(c.GPU(0, 0), c.GPU(7, 0), 1); err != nil {
+		t.Errorf("tenant a internal route failed: %v", err)
+	}
+	if _, err := r.Route(c.GPU(8, 0), c.GPU(15, 0), 1); err != nil {
+		t.Errorf("tenant b internal route failed: %v", err)
+	}
+}

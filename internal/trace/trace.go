@@ -1,0 +1,177 @@
+// Package trace serialises all-to-all traffic traces to JSON Lines so that
+// real production demand matrices (like the ones behind Figures 4, 5 and
+// 18) can be captured once and replayed through the simulator, and so that
+// synthetic gate traces can be exported for offline analysis.
+//
+// One line per (iteration, layer): see Record. Matrices are EP-rank
+// dispatch demands in bytes, row = source rank.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+)
+
+// Record is one layer's gate outcome in one iteration.
+type Record struct {
+	Iteration int         `json:"iter"`
+	Layer     int         `json:"layer"`
+	Loads     []float64   `json:"loads"`  // per-expert dispatch fractions
+	Matrix    [][]float64 `json:"matrix"` // EP x EP dispatch bytes
+}
+
+// Writer streams records as JSON Lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteIteration appends every layer of a gate iteration.
+func (tw *Writer) WriteIteration(it *moe.Iteration) error {
+	for l, d := range it.Layers {
+		rec := Record{
+			Iteration: it.Index,
+			Layer:     l,
+			Loads:     d.Loads,
+			Matrix:    toRows(d.RankMatrix),
+		}
+		if err := tw.enc.Encode(&rec); err != nil {
+			return fmt.Errorf("trace: write iter %d layer %d: %w", it.Index, l, err)
+		}
+		tw.n++
+	}
+	return nil
+}
+
+// Records returns how many records have been written.
+func (tw *Writer) Records() int { return tw.n }
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+func toRows(m *metrics.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = append([]float64(nil), m.Data[i*m.Cols:(i+1)*m.Cols]...)
+	}
+	return out
+}
+
+// Reader streams records back.
+type Reader struct {
+	dec *json.Decoder
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next returns the next record, or io.EOF.
+func (tr *Reader) Next() (*Record, error) {
+	var rec Record
+	if err := tr.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Validate checks structural consistency.
+func (r *Record) Validate() error {
+	if r.Iteration < 0 || r.Layer < 0 {
+		return fmt.Errorf("trace: negative iteration/layer in record")
+	}
+	n := len(r.Matrix)
+	for i, row := range r.Matrix {
+		if len(row) != n {
+			return fmt.Errorf("trace: iter %d layer %d: row %d has %d cols, want %d",
+				r.Iteration, r.Layer, i, len(row), n)
+		}
+		for _, v := range row {
+			if v < 0 {
+				return fmt.Errorf("trace: iter %d layer %d: negative demand", r.Iteration, r.Layer)
+			}
+		}
+	}
+	return nil
+}
+
+// ToMatrix converts the record's demand back into a metrics.Matrix.
+func (r *Record) ToMatrix() *metrics.Matrix {
+	n := len(r.Matrix)
+	m := metrics.NewMatrix(n, n)
+	for i, row := range r.Matrix {
+		copy(m.Data[i*n:(i+1)*n], row)
+	}
+	return m
+}
+
+// ReplaySource groups a trace back into per-iteration structures, usable
+// wherever a *moe.Iteration is expected.
+type ReplaySource struct {
+	records map[int][]*Record // iteration -> records sorted by arrival
+	order   []int
+	next    int
+}
+
+// Load reads an entire trace into a replayable source.
+func Load(r io.Reader) (*ReplaySource, error) {
+	tr := NewReader(r)
+	rs := &ReplaySource{records: map[int][]*Record{}}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, seen := rs.records[rec.Iteration]; !seen {
+			rs.order = append(rs.order, rec.Iteration)
+		}
+		rs.records[rec.Iteration] = append(rs.records[rec.Iteration], rec)
+	}
+	return rs, nil
+}
+
+// Iterations returns the number of replayable iterations.
+func (rs *ReplaySource) Iterations() int { return len(rs.order) }
+
+// Next returns the next iteration's gate outcome, cycling when exhausted.
+// It returns nil for an empty trace.
+func (rs *ReplaySource) Next() *moe.Iteration {
+	if len(rs.order) == 0 {
+		return nil
+	}
+	idx := rs.order[rs.next%len(rs.order)]
+	rs.next++
+	recs := rs.records[idx]
+	it := &moe.Iteration{Index: idx, Layers: make([]moe.LayerDispatch, len(recs))}
+	for _, rec := range recs {
+		if rec.Layer < len(it.Layers) {
+			it.Layers[rec.Layer] = moe.LayerDispatch{
+				Loads:      append([]float64(nil), rec.Loads...),
+				RankMatrix: rec.ToMatrix(),
+			}
+		}
+	}
+	return it
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"mixnet/internal/moe"
+)
+
+func genTrace(t *testing.T, iters int) *bytes.Buffer {
+	t.Helper()
+	gs := moe.NewGateSim(moe.Mixtral8x7B, moe.Table1Plans()[moe.Mixtral8x7B.Name], moe.DefaultGateConfig(5))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < iters; i++ {
+		if err := w.WriteIteration(gs.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf := genTrace(t, 2)
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	count := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Loads) != 8 || len(rec.Matrix) != 8 {
+			t.Fatalf("record shape wrong: %d loads, %d rows", len(rec.Loads), len(rec.Matrix))
+		}
+		m := rec.ToMatrix()
+		if m.Total() <= 0 {
+			t.Error("round-tripped matrix empty")
+		}
+		count++
+	}
+	if count != 2*moe.Mixtral8x7B.Blocks {
+		t.Errorf("records = %d, want %d", count, 2*moe.Mixtral8x7B.Blocks)
+	}
+}
+
+func TestWriterCountsRecords(t *testing.T) {
+	buf := genTrace(t, 1)
+	_ = buf
+	gs := moe.NewGateSim(moe.Mixtral8x7B, moe.Table1Plans()[moe.Mixtral8x7B.Name], moe.DefaultGateConfig(5))
+	var b bytes.Buffer
+	w := NewWriter(&b)
+	w.WriteIteration(gs.Next())
+	if w.Records() != moe.Mixtral8x7B.Blocks {
+		t.Errorf("Records = %d, want %d", w.Records(), moe.Mixtral8x7B.Blocks)
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"iter":-1,"layer":0,"loads":[],"matrix":[]}`,
+		`{"iter":0,"layer":0,"loads":[],"matrix":[[1,2],[3]]}`,
+		`{"iter":0,"layer":0,"loads":[],"matrix":[[-1]]}`,
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("malformed record accepted: %s", c)
+		}
+	}
+}
+
+func TestReplaySource(t *testing.T) {
+	buf := genTrace(t, 3)
+	rs, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Iterations() != 3 {
+		t.Fatalf("Iterations = %d, want 3", rs.Iterations())
+	}
+	it := rs.Next()
+	if it == nil || len(it.Layers) != moe.Mixtral8x7B.Blocks {
+		t.Fatal("replayed iteration malformed")
+	}
+	if it.Layers[0].RankMatrix.Total() <= 0 {
+		t.Error("replayed matrix empty")
+	}
+	// Cycles after exhaustion.
+	rs.Next()
+	rs.Next()
+	again := rs.Next()
+	if again.Index != it.Index {
+		t.Errorf("cycle returned iteration %d, want %d", again.Index, it.Index)
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	rs, err := Load(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Next() != nil {
+		t.Error("empty trace replayed an iteration")
+	}
+}
+
+func TestReplayMatchesOriginal(t *testing.T) {
+	gs := moe.NewGateSim(moe.Mixtral8x7B, moe.Table1Plans()[moe.Mixtral8x7B.Name], moe.DefaultGateConfig(9))
+	orig := gs.Next()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteIteration(orig); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rs, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rs.Next()
+	for l := range orig.Layers {
+		om, rm := orig.Layers[l].RankMatrix, rep.Layers[l].RankMatrix
+		for i := range om.Data {
+			if om.Data[i] != rm.Data[i] {
+				t.Fatalf("layer %d data differs after round trip", l)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package trainsim
+
+import (
+	"fmt"
+
+	"mixnet/internal/ocs"
+	"mixnet/internal/parallel"
+	"mixnet/internal/topo"
+)
+
+// Failure hooks (§5.4): the engine supports remapping GPUs to backups and
+// accounting the TP-over-scale-out penalty that arises when a replacement
+// GPU breaks the NVSwitch locality of its TP group.
+
+// OverrideGPU redirects every role of the original GPU node to a
+// replacement (the designated backup GPU). Passing the original node
+// restores it.
+func (e *Engine) OverrideGPU(orig, repl topo.NodeID) {
+	if e.gpuOverride == nil {
+		e.gpuOverride = map[topo.NodeID]topo.NodeID{}
+	}
+	if orig == repl {
+		delete(e.gpuOverride, orig)
+		return
+	}
+	e.gpuOverride[orig] = repl
+}
+
+// SetTPOverEPS marks n EP ranks as running their TP group across the
+// scale-out fabric (because a member GPU was remapped off-host). Their TP
+// all-reduces leave NVSwitch and are charged at NIC line rate (§7.5).
+func (e *Engine) SetTPOverEPS(ranks int) { e.tpOverEPS = ranks }
+
+// Controller exposes the representative region's topology controller so
+// failure scenarios can exclude servers (nil for static fabrics).
+func (e *Engine) Controller() *ocs.Controller { return e.controller }
+
+func (e *Engine) mapGPU(n topo.NodeID) topo.NodeID {
+	if r, ok := e.gpuOverride[n]; ok {
+		return r
+	}
+	return n
+}
+
+// tpOverEPSPenalty returns the extra per-layer time of TP all-reduces that
+// traverse the scale-out fabric instead of NVSwitch: two ring all-reduces
+// of the micro-batch activation volume at NIC line rate.
+func (e *Engine) tpOverEPSPenalty() float64 {
+	if e.tpOverEPS == 0 || e.Plan.TP < 2 {
+		return 0
+	}
+	s := float64(e.Plan.TokensPerMicroBatch()) * e.Model.TokenBytes()
+	per := 2 * 2 * s * float64(e.Plan.TP-1) / float64(e.Plan.TP)
+	return per * 8 / e.Cluster.Spec.NICBps
+}
+
+// FailGPU remaps one GPU of the representative EP group to a backup GPU
+// node, applying the TP-over-EPS penalty when the rank's TP group no longer
+// shares a server. Returns the original node so callers can restore it.
+func (e *Engine) FailGPU(ep, tp int, backup topo.NodeID) (topo.NodeID, error) {
+	p := e.Plan
+	if ep < 0 || ep >= p.EP || tp < 0 || tp >= p.TP {
+		return topo.NoNode, fmt.Errorf("trainsim: rank (ep=%d,tp=%d) out of range", ep, tp)
+	}
+	orig := e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: tp})
+	e.OverrideGPU(orig, backup)
+	if p.TP > 1 && e.Cluster.G.Node(backup).Server != e.Cluster.G.Node(orig).Server {
+		e.tpOverEPS++
+	}
+	return orig, nil
+}
+
+// FailServer remaps every GPU of a representative-group server to the
+// backup server's GPUs (connected via EPS only, §5.4), excludes the failed
+// server from circuit planning, and returns the original GPU nodes.
+func (e *Engine) FailServer(server int, backup int) ([]topo.NodeID, error) {
+	if server < 0 || server >= len(e.Cluster.Servers) || backup < 0 || backup >= len(e.Cluster.Servers) {
+		return nil, fmt.Errorf("trainsim: server index out of range")
+	}
+	if server == backup {
+		return nil, fmt.Errorf("trainsim: backup equals failed server")
+	}
+	src := e.Cluster.Servers[server]
+	dst := e.Cluster.Servers[backup]
+	var origs []topo.NodeID
+	for i, g := range src.GPUs {
+		e.OverrideGPU(g, dst.GPUs[i%len(dst.GPUs)])
+		origs = append(origs, g)
+	}
+	if e.Plan.TP > 1 {
+		// Every EP rank with TP members on the dead server now spans hosts.
+		e.tpOverEPS += len(src.GPUs) / e.Plan.TP
+	}
+	if e.controller != nil {
+		e.controller.SetServerFailed(server, true)
+	}
+	return origs, nil
+}

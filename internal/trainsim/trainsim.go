@@ -1,0 +1,499 @@
+// Package trainsim is the end-to-end training-iteration engine: it executes
+// the MoE task model (internal/dag) over a simulated fabric, running
+// MixNet's monitor -> controller -> collective-manager loop each layer
+// (Figure 7), with the reconfiguration blocking/hiding semantics of §5.1
+// and §B.2, Copilot-driven proactive reconfiguration (§B.1), and failure
+// hooks (§5.4).
+//
+// Fidelity/scale trade-off: the engine simulates one representative EP
+// group (pipeline stage 0 of replica 0) at flow level and applies the 1F1B
+// pipeline bound across stages. EP groups occupy disjoint regions/servers,
+// so inter-group contention is second-order on every evaluated fabric; the
+// shared-fabric DP all-reduce is simulated across all servers.
+package trainsim
+
+import (
+	"fmt"
+	"math"
+
+	"mixnet/internal/collective"
+	"mixnet/internal/dag"
+	"mixnet/internal/metrics"
+	"mixnet/internal/moe"
+	"mixnet/internal/ocs"
+	"mixnet/internal/parallel"
+	"mixnet/internal/predict"
+	"mixnet/internal/topo"
+)
+
+// FirstA2AMode selects how the forward pass's first all-to-all topology is
+// obtained (§5.1).
+type FirstA2AMode int
+
+// First-A2A handling strategies.
+const (
+	// FirstA2ABlock reconfigures on exact demand, blocking the network for
+	// the reconfiguration delay (the §7.1 simulation default, 25 ms).
+	FirstA2ABlock FirstA2AMode = iota
+	// FirstA2AReuse keeps the previous layer's topology (no block, stale
+	// circuits).
+	FirstA2AReuse
+	// FirstA2ACopilot reconfigures proactively from the traffic-demand
+	// prediction of §B.1 (no block, predicted circuits).
+	FirstA2ACopilot
+)
+
+func (m FirstA2AMode) String() string {
+	switch m {
+	case FirstA2AReuse:
+		return "reuse"
+	case FirstA2ACopilot:
+		return "copilot"
+	default:
+		return "block"
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	FirstA2A FirstA2AMode
+	// Device models OCS reconfiguration latency; nil means the fabric has
+	// no runtime reconfiguration (electrical fabrics, TopoOpt).
+	Device *ocs.Device
+	// Alpha caps the per-server optical degree (Figure 27); 0 = all NICs.
+	Alpha int
+	// StrictBreak selects Algorithm 1's literal break semantics.
+	StrictBreak bool
+	// Calib is the compute model; zero value means dag.A100().
+	Calib dag.Calibration
+	// GateCfg overrides the gate dynamics; nil means defaults with GateSeed.
+	GateCfg  *moe.GateConfig
+	GateSeed int64
+	// Source replaces the synthetic gate with another iteration source
+	// (e.g. a recorded production trace via internal/trace).
+	Source IterationSource
+	// DisableDP skips the DP all-reduce simulation.
+	DisableDP bool
+}
+
+// IterationSource supplies gate outcomes; the default is the synthetic
+// gate simulator, and trace.ReplaySource substitutes recorded production
+// traffic.
+type IterationSource interface {
+	Next() *moe.Iteration
+}
+
+// Engine simulates training iterations of one (model, plan) on one cluster.
+type Engine struct {
+	Model   moe.Model
+	Plan    moe.TrainPlan
+	Cluster *topo.Cluster
+	Place   *parallel.Placement
+	Gate    IterationSource
+	Opts    Options
+
+	ctx        *collective.Ctx
+	controller *ocs.Controller // region of the representative group; nil if static fabric
+	region     int
+	estimators []*predict.Estimator // per layer boundary, Copilot mode
+	prevLayer0 *metrics.Matrix      // previous iteration's layer-0 demand
+	iter       int
+	reconfigs  int
+
+	// failure state (§5.4)
+	gpuOverride map[topo.NodeID]topo.NodeID
+	tpOverEPS   int
+}
+
+// PhaseBreakdown is Figure 3's per-layer forward timeline.
+type PhaseBreakdown struct {
+	Attention, Gate, A2A1, Expert, A2A2, AddNorm float64
+}
+
+// Total sums the phases.
+func (p PhaseBreakdown) Total() float64 {
+	return p.Attention + p.Gate + p.A2A1 + p.Expert + p.A2A2 + p.AddNorm
+}
+
+// IterStats summarises one simulated iteration.
+type IterStats struct {
+	Iter      int
+	Time      float64 // end-to-end iteration seconds
+	FwdStage  float64 // slowest stage forward time per micro-batch slot
+	BwdStage  float64
+	A2A       float64 // all-to-all seconds inside one fwd+bwd slot
+	Compute   float64 // computation seconds inside one fwd+bwd slot
+	Blocked   float64 // reconfiguration time that blocked training
+	DPTime    float64
+	Layer0    PhaseBreakdown
+	Reconfigs int // OCS reconfigurations performed this iteration
+}
+
+// A2AFraction is the share of slot time spent in all-to-all (Figure 3's
+// 33–55% observation).
+func (s IterStats) A2AFraction() float64 {
+	if s.FwdStage+s.BwdStage == 0 {
+		return 0
+	}
+	return s.A2A / (s.FwdStage + s.BwdStage)
+}
+
+// New builds an engine. The cluster must have exactly plan.GPUs() GPUs.
+func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (*Engine, error) {
+	if err := moe.Validate(m, plan); err != nil {
+		return nil, err
+	}
+	place, err := parallel.NewPlacement(cluster, plan)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Calib.PeakFLOPS == 0 {
+		opts.Calib = dag.A100()
+	}
+	if err := opts.Calib.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := moe.DefaultGateConfig(opts.GateSeed)
+	if opts.GateCfg != nil {
+		cfg = *opts.GateCfg
+	}
+	var source IterationSource = moe.NewGateSim(m, plan, cfg)
+	if opts.Source != nil {
+		source = opts.Source
+	}
+	e := &Engine{
+		Model: m, Plan: plan, Cluster: cluster, Place: place,
+		Gate: source, Opts: opts,
+		ctx: collective.NewCtx(cluster),
+	}
+	e.region = -1
+	if len(cluster.Regions) > 0 {
+		e.region = cluster.RegionOf(place.ServerOfEPRank(0, 0, 0))
+	}
+	reconfigurable := cluster.Kind == topo.FabricMixNet || cluster.Kind == topo.FabricMixNetCPO
+	if reconfigurable {
+		if e.region < 0 {
+			return nil, fmt.Errorf("trainsim: MixNet cluster without regions")
+		}
+		e.controller = ocs.NewController(cluster, e.region, opts.Device)
+		e.controller.Alpha = opts.Alpha
+		e.controller.StrictBreak = opts.StrictBreak
+		span := parallel.RegionServersPerEPGroup(plan, cluster.Spec.GPUsPerServer)
+		if cluster.Spec.RegionServers != span {
+			return nil, fmt.Errorf("trainsim: region size %d does not match EP-group span %d servers",
+				cluster.Spec.RegionServers, span)
+		}
+	}
+	if opts.FirstA2A == FirstA2ACopilot {
+		bounds := dag.LayersPerStageMax(m.Blocks, plan.PP)
+		e.estimators = make([]*predict.Estimator, bounds)
+		for i := range e.estimators {
+			e.estimators[i] = predict.NewEstimator(m.Experts, 16)
+		}
+	}
+	return e, nil
+}
+
+// leaderGPUs returns the EP rank leader GPU nodes for the representative
+// group, and each rank's global server index.
+func (e *Engine) leaderGPUs() ([]topo.NodeID, []int) {
+	p := e.Plan
+	gpus := make([]topo.NodeID, p.EP)
+	servers := make([]int, p.EP)
+	for ep := 0; ep < p.EP; ep++ {
+		gpus[ep] = e.mapGPU(e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: 0}))
+		servers[ep] = e.Cluster.G.Node(gpus[ep]).Server
+	}
+	return gpus, servers
+}
+
+// expandedA2A spreads the rank demand across all EP*TP GPUs so the direct
+// all-to-all exercises every NIC on electrical fabrics.
+func (e *Engine) expandedA2A(demand *metrics.Matrix) ([]topo.NodeID, *metrics.Matrix) {
+	p := e.Plan
+	n := p.EP * p.TP
+	gpus := make([]topo.NodeID, n)
+	d := metrics.NewMatrix(n, n)
+	for ep := 0; ep < p.EP; ep++ {
+		for tp := 0; tp < p.TP; tp++ {
+			gpus[ep*p.TP+tp] = e.mapGPU(e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: tp}))
+		}
+	}
+	inv := 1 / float64(p.TP)
+	for i := 0; i < p.EP; i++ {
+		for j := 0; j < p.EP; j++ {
+			if i == j {
+				continue
+			}
+			v := demand.At(i, j) * inv
+			for tp := 0; tp < p.TP; tp++ {
+				d.Set(i*p.TP+tp, j*p.TP+tp, v)
+			}
+		}
+	}
+	return gpus, d
+}
+
+// simulateA2A returns the makespan of one all-to-all with the given demand
+// on the engine's fabric.
+func (e *Engine) simulateA2A(demand *metrics.Matrix) (float64, error) {
+	useTopoAware := e.Cluster.Kind == topo.FabricMixNet || e.Cluster.Kind == topo.FabricMixNetCPO ||
+		e.Cluster.Kind == topo.FabricTopoOpt
+	if useTopoAware && e.region >= 0 {
+		gpus, _ := e.leaderGPUs()
+		phases, err := collective.TopologyAwareAllToAll(e.ctx, e.region, gpus, demand)
+		if err != nil {
+			return 0, err
+		}
+		return collective.Makespan(e.ctx, phases)
+	}
+	gpus, d := e.expandedA2A(demand)
+	phases, err := collective.DirectAllToAll(e.ctx, gpus, d)
+	if err != nil {
+		return 0, err
+	}
+	return collective.Makespan(e.ctx, phases)
+}
+
+// planAndApply runs Algorithm 1 for the representative region on a demand
+// matrix and returns the sampled reconfiguration delay.
+func (e *Engine) planAndApply(demand *metrics.Matrix, servers []int) (float64, error) {
+	pairs, err := e.controller.PlanFromRankDemand(demand, servers)
+	if err != nil {
+		return 0, err
+	}
+	delay, err := e.controller.Apply(pairs)
+	if err != nil {
+		return 0, err
+	}
+	e.reconfigs++
+	return delay, nil
+}
+
+// predictedDemand builds the Copilot demand matrix for layer l from the
+// previous layer's loads.
+func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
+	est := e.estimators[l]
+	loads := est.Predict(prevLoads)
+	p := e.Plan
+	per := e.Model.ExpertsPerRank(p)
+	d := metrics.NewMatrix(p.EP, p.EP)
+	// Uniform sources, predicted destination shares (relative values are
+	// all Algorithm 1 needs).
+	for j := 0; j < p.EP; j++ {
+		var share float64
+		for le := j * per; le < (j+1)*per && le < len(loads); le++ {
+			share += loads[le]
+		}
+		for i := 0; i < p.EP; i++ {
+			if i != j {
+				d.Set(i, j, share)
+			}
+		}
+	}
+	return d
+}
+
+// RunIteration simulates one training iteration.
+func (e *Engine) RunIteration() (IterStats, error) {
+	m, p := e.Model, e.Plan
+	it := e.Gate.Next()
+	if it == nil || len(it.Layers) < m.Blocks {
+		return IterStats{}, fmt.Errorf("trainsim: iteration source yielded %d layers, need %d",
+			lenLayers(it), m.Blocks)
+	}
+	stats := IterStats{Iter: e.iter}
+	e.iter++
+	e.reconfigs = 0
+
+	_, servers := e.leaderGPUs()
+	liMax := dag.LayersPerStageMax(m.Blocks, p.PP)
+	stageLayers := dag.StageLayers(m.Blocks, p.PP, 0)
+
+	var fwd, bwd, a2aTot, compTot, blocked float64
+	for li := 0; li < liMax && li < len(stageLayers); li++ {
+		l := stageLayers[li]
+		d := it.Layers[l].RankMatrix
+		// Hottest rank share paces expert computation.
+		cols := d.ColSums()
+		share := metrics.Max(cols) / math.Max(d.Total(), 1)
+		pt := dag.ComputeTimes(m, p, e.Opts.Calib, share)
+
+		var block1, penalty2, bwdPenalty float64
+		if e.controller != nil {
+			// First A2A of the forward pass (§5.1).
+			switch e.Opts.FirstA2A {
+			case FirstA2ABlock:
+				delay, err := e.planAndApply(d, servers)
+				if err != nil {
+					return stats, err
+				}
+				block1 = delay
+			case FirstA2AReuse:
+				// Keep whatever circuits are installed (previous layer /
+				// previous iteration); no reconfiguration, no block.
+			case FirstA2ACopilot:
+				var planD *metrics.Matrix
+				if l == 0 {
+					if e.prevLayer0 != nil {
+						planD = e.prevLayer0
+					} else {
+						planD = d // first-ever iteration: oracle warm start
+					}
+				} else {
+					planD = e.predictedDemand(li, it.Layers[l-1].Loads)
+				}
+				delay, err := e.planAndApply(planD, servers)
+				if err != nil {
+					return stats, err
+				}
+				// Proactive: reconfiguration hides under the previous
+				// layer's computation unless it exceeds that window.
+				hideWin := e.Opts.Calib.BackwardFactor * pt.Expert
+				if delay > hideWin {
+					block1 = delay - hideWin
+				}
+			}
+		}
+		a2a1, err := e.simulateA2A(d)
+		if err != nil {
+			return stats, err
+		}
+
+		if e.controller != nil {
+			// Exact reconfiguration for the second A2A, hidden under
+			// expert computation (§5.1).
+			delay, err := e.planAndApply(d, servers)
+			if err != nil {
+				return stats, err
+			}
+			if delay > pt.Expert {
+				penalty2 = delay - pt.Expert
+			}
+			// Backward-pass reconfigurations hide under backward compute.
+			bwdWin := e.Opts.Calib.BackwardFactor * (pt.Attention + pt.Expert) / 2
+			if delay > bwdWin {
+				bwdPenalty = 2 * (delay - bwdWin)
+			}
+		}
+		a2a2, err := e.simulateA2A(d.Transpose())
+		if err != nil {
+			return stats, err
+		}
+
+		comp := pt.Forward() + e.tpOverEPSPenalty()
+		fwd += comp + a2a1 + a2a2 + block1 + penalty2
+		bwd += e.Opts.Calib.BackwardFactor*comp + a2a1 + a2a2 + bwdPenalty
+		a2aTot += 2 * (a2a1 + a2a2)
+		compTot += comp * (1 + e.Opts.Calib.BackwardFactor)
+		blocked += block1 + penalty2 + bwdPenalty
+
+		if li == 0 {
+			stats.Layer0 = PhaseBreakdown{
+				Attention: pt.Attention, Gate: pt.Gate, A2A1: a2a1,
+				Expert: pt.Expert, A2A2: a2a2, AddNorm: pt.AddNorm,
+			}
+		}
+		// Copilot online learning.
+		if e.estimators != nil {
+			if l > 0 {
+				e.estimators[li].Observe(it.Layers[l-1].Loads, it.Layers[l].Loads)
+				e.estimators[li].Fit()
+			}
+		}
+	}
+	if e.controller != nil {
+		e.prevLayer0 = it.Layers[0].RankMatrix.Clone()
+	}
+
+	// Pipeline activation transfer per slot (analytic, EPS path).
+	ppSend := 0.0
+	if p.PP > 1 {
+		actBytes := float64(p.TokensPerMicroBatch()) * m.TokenBytes()
+		ppSend = actBytes * 8 / e.Cluster.Spec.NICBps
+	}
+	stats.FwdStage = fwd + ppSend
+	stats.BwdStage = bwd + ppSend
+	stats.A2A = a2aTot
+	stats.Compute = compTot
+	stats.Blocked = blocked
+	stats.Reconfigs = e.reconfigs
+	stats.Time = dag.PipelineIterationTime(stats.FwdStage, stats.BwdStage, p.NumMicroBatch, p.PP)
+
+	// DP gradient all-reduce across replicas (§5.3 hierarchical scheme).
+	if p.DP > 1 && !e.Opts.DisableDP {
+		dpTime, err := e.dpAllReduce()
+		if err != nil {
+			return stats, err
+		}
+		stats.DPTime = dpTime
+		stats.Time += dpTime
+	}
+	return stats, nil
+}
+
+// dpAllReduce simulates the hierarchical gradient all-reduce: corresponding
+// servers of each replica form rings; phases are merged across groups so
+// the shared EPS fabric sees the full load.
+func (e *Engine) dpAllReduce() (float64, error) {
+	p := e.Plan
+	serversPerReplica := len(e.Cluster.Servers) / p.DP
+	if serversPerReplica == 0 {
+		return 0, nil
+	}
+	perServer := e.Model.GradBytes() / float64(serversPerReplica)
+	merged := make(collective.Phases, 3)
+	for k := 0; k < serversPerReplica; k++ {
+		group := make([]int, p.DP)
+		for d := 0; d < p.DP; d++ {
+			group[d] = d*serversPerReplica + k
+		}
+		phases, err := collective.HierarchicalAllReduce(e.ctx, group, 0, perServer)
+		if err != nil {
+			return 0, err
+		}
+		for i, fs := range phases {
+			if i < len(merged) {
+				merged[i] = append(merged[i], fs...)
+			}
+		}
+	}
+	return collective.Makespan(e.ctx, merged)
+}
+
+// Run simulates n iterations and returns their stats.
+func (e *Engine) Run(n int) ([]IterStats, error) {
+	out := make([]IterStats, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := e.RunIteration()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MeanIterTime averages iteration times, skipping the first warm-up
+// iteration when more than one is available.
+func MeanIterTime(stats []IterStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	start := 0
+	if len(stats) > 1 {
+		start = 1
+	}
+	var s float64
+	for _, st := range stats[start:] {
+		s += st.Time
+	}
+	return s / float64(len(stats)-start)
+}
+
+func lenLayers(it *moe.Iteration) int {
+	if it == nil {
+		return 0
+	}
+	return len(it.Layers)
+}

@@ -1,0 +1,209 @@
+// Package mixnet is the public API of the MixNet reproduction: a runtime
+// reconfigurable optical-electrical fabric for distributed
+// Mixture-of-Experts training (SIGCOMM 2025), rebuilt as a pure-Go
+// simulation stack.
+//
+// The package exposes three entry points:
+//
+//   - Simulate: run distributed MoE training iterations of a named model on
+//     one of the evaluated fabrics (Fat-tree, over-subscribed Fat-tree,
+//     Rail-optimized, TopoOpt, MixNet) and obtain per-iteration timing,
+//     all-to-all breakdowns and reconfiguration statistics.
+//   - NetworkCost: price a fabric at a given scale and link bandwidth with
+//     the paper's Table 4 cost model.
+//   - Experiment: regenerate any table or figure of the paper's evaluation
+//     by id (see ExperimentIDs).
+//
+// Lower-level building blocks (topologies, the flow/packet simulators,
+// Algorithm 1's controller, the Copilot predictor) live in internal/
+// packages and are documented there.
+package mixnet
+
+import (
+	"fmt"
+	"sort"
+
+	"mixnet/internal/cost"
+	"mixnet/internal/experiments"
+	"mixnet/internal/moe"
+	"mixnet/internal/ocs"
+	"mixnet/internal/parallel"
+	"mixnet/internal/topo"
+	"mixnet/internal/trainsim"
+)
+
+// Fabric names an interconnect architecture.
+type Fabric = topo.FabricKind
+
+// The evaluated fabrics.
+const (
+	FatTree        = topo.FabricFatTree
+	OverSubFatTree = topo.FabricOverSubFatTree
+	RailOptimized  = topo.FabricRailOptimized
+	TopoOpt        = topo.FabricTopoOpt
+	MixNet         = topo.FabricMixNet
+)
+
+// IterationStats re-exports the per-iteration statistics.
+type IterationStats = trainsim.IterStats
+
+// SimConfig configures one training simulation.
+type SimConfig struct {
+	// Model is a registry name (see ListModels), e.g. "Mixtral 8x7B".
+	Model string
+	// Fabric selects the interconnect (default FatTree).
+	Fabric Fabric
+	// LinkGbps is the NIC line rate in Gbit/s (default 400).
+	LinkGbps float64
+	// DP scales the cluster by replicating the model (default 1).
+	DP int
+	// FirstA2A is "block" (default), "reuse" or "copilot" (§5.1).
+	FirstA2A string
+	// ReconfigDelaySec is the OCS reconfiguration latency
+	// (default 0.025, the §7.1 simulation setting).
+	ReconfigDelaySec float64
+	// Iterations to simulate (default 3).
+	Iterations int
+	// Seed drives the synthetic gate; equal seeds reproduce runs exactly.
+	Seed int64
+}
+
+// Result summarises a simulation.
+type Result struct {
+	// MeanIterTime is the warm mean iteration time in seconds.
+	MeanIterTime float64
+	// Stats holds every simulated iteration.
+	Stats []IterationStats
+	// GPUs and Servers describe the simulated cluster.
+	GPUs, Servers int
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Model == "" {
+		c.Model = moe.Mixtral8x7B.Name
+	}
+	if c.LinkGbps == 0 {
+		c.LinkGbps = 400
+	}
+	if c.DP == 0 {
+		c.DP = 1
+	}
+	if c.FirstA2A == "" {
+		c.FirstA2A = "block"
+	}
+	if c.ReconfigDelaySec == 0 {
+		c.ReconfigDelaySec = 25e-3
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	return c
+}
+
+// Simulate runs the configured training simulation.
+func Simulate(cfg SimConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	m, ok := moe.Models()[cfg.Model]
+	if !ok {
+		return Result{}, fmt.Errorf("mixnet: unknown model %q (see ListModels)", cfg.Model)
+	}
+	plan, ok := moe.SimPlans()[cfg.Model]
+	if !ok {
+		plan, ok = moe.Table1Plans()[cfg.Model]
+	}
+	if !ok {
+		return Result{}, fmt.Errorf("mixnet: model %q has no training plan", cfg.Model)
+	}
+	plan.DP = cfg.DP
+
+	spec := topo.DefaultSpec(plan.GPUs()/8, cfg.LinkGbps*topo.Gbps)
+	spec.RegionServers = parallel.RegionServersPerEPGroup(plan, spec.GPUsPerServer)
+	var cluster *topo.Cluster
+	switch cfg.Fabric {
+	case OverSubFatTree:
+		spec.Oversub = 3
+		cluster = topo.BuildOverSubFatTree(spec)
+	case RailOptimized:
+		cluster = topo.BuildRailOptimized(spec)
+	case TopoOpt:
+		cluster = topo.BuildTopoOpt(spec)
+	case MixNet:
+		cluster = topo.BuildMixNet(spec)
+	case FatTree:
+		cluster = topo.BuildFatTree(spec)
+	default:
+		return Result{}, fmt.Errorf("mixnet: fabric %v not supported by Simulate", cfg.Fabric)
+	}
+
+	opts := trainsim.Options{GateSeed: cfg.Seed}
+	if cfg.Fabric == MixNet {
+		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
+		switch cfg.FirstA2A {
+		case "block":
+			opts.FirstA2A = trainsim.FirstA2ABlock
+		case "reuse":
+			opts.FirstA2A = trainsim.FirstA2AReuse
+		case "copilot":
+			opts.FirstA2A = trainsim.FirstA2ACopilot
+		default:
+			return Result{}, fmt.Errorf("mixnet: unknown FirstA2A mode %q", cfg.FirstA2A)
+		}
+	}
+	engine, err := trainsim.New(m, plan, cluster, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := engine.Run(cfg.Iterations)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		MeanIterTime: trainsim.MeanIterTime(stats),
+		Stats:        stats,
+		GPUs:         cluster.GPUCount(),
+		Servers:      len(cluster.Servers),
+	}, nil
+}
+
+// CostBreakdown itemises a fabric's networking cost in USD.
+type CostBreakdown = cost.Breakdown
+
+// NetworkCost prices a fabric with servers 8-GPU hosts at the given link
+// bandwidth (100, 200, 400 or 800 Gbps) using Table 4 component prices.
+func NetworkCost(fabric Fabric, servers, gbps int) (CostBreakdown, error) {
+	return cost.FabricCost(fabric, servers, gbps, cost.LinkFiber)
+}
+
+// ListModels returns the model registry names in sorted order.
+func ListModels() []string {
+	var out []string
+	for name := range moe.Models() {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExperimentIDs lists the reproducible tables/figures in paper order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, r := range experiments.Registry() {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// Experiment regenerates one paper artifact by id and returns its rendered
+// table. full selects the paper-scale dimensions instead of the quick CI
+// sizing.
+func Experiment(id string, full bool) (string, error) {
+	scale := experiments.Quick
+	if full {
+		scale = experiments.Full
+	}
+	t, err := experiments.Run(id, scale)
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
