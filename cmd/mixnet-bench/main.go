@@ -6,22 +6,49 @@
 //	mixnet-bench -full           # paper-scale dimensions (slow)
 //	mixnet-bench -only fig12     # a single experiment
 //	mixnet-bench -list           # available experiment ids
+//	mixnet-bench -par 8          # worker-pool width (default GOMAXPROCS)
+//	mixnet-bench -json           # also write BENCH_<scale>.json
+//
+// Experiments run concurrently on a worker pool; output order and table
+// contents are identical to a sequential run regardless of -par.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mixnet"
+	"mixnet/internal/experiments"
 )
+
+// benchReport is the machine-readable BENCH_*.json schema.
+type benchReport struct {
+	Scale        string            `json:"scale"`
+	Workers      int               `json:"workers"`
+	TotalSeconds float64           `json:"total_seconds"`
+	Experiments  []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Seconds float64    `json:"seconds"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+}
 
 func main() {
 	var (
-		full = flag.Bool("full", false, "paper-scale dimensions (slow)")
-		only = flag.String("only", "", "run a single experiment id")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		full     = flag.Bool("full", false, "paper-scale dimensions (slow)")
+		only     = flag.String("only", "", "run a single experiment id")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		par      = flag.Int("par", 0, "worker-pool width (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<scale>.json")
+		jsonPath = flag.String("json-path", "", "override the BENCH_*.json output path")
 	)
 	flag.Parse()
 
@@ -31,18 +58,54 @@ func main() {
 		}
 		return
 	}
+	scale, scaleName := experiments.Quick, "quick"
+	if *full {
+		scale, scaleName = experiments.Full, "full"
+	}
 	ids := mixnet.ExperimentIDs()
 	if *only != "" {
 		ids = []string{*only}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := mixnet.Experiment(id, *full)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+
+	workers := experiments.Workers(*par, len(ids))
+	report := benchReport{Scale: scaleName, Workers: workers}
+	failed := false
+	start := time.Now()
+	// Stream finished tables in input order as the pool completes them.
+	results := experiments.RunIDsStream(ids, scale, workers, func(r experiments.RunResult) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+			failed = true
+			return
 		}
-		fmt.Print(out)
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Print(r.Table.String())
+		fmt.Printf("(%s in %.1fs)\n\n", r.ID, r.Elapsed.Seconds())
+		report.Experiments = append(report.Experiments, benchExperiment{
+			ID: r.ID, Title: r.Table.Title, Seconds: r.Elapsed.Seconds(),
+			Header: r.Table.Header, Rows: r.Table.Rows, Notes: r.Table.Notes,
+		})
+	})
+	total := time.Since(start)
+	report.TotalSeconds = total.Seconds()
+	fmt.Printf("total: %d experiments in %.1fs\n", len(results), total.Seconds())
+
+	if *jsonOut || *jsonPath != "" {
+		path := *jsonPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", scaleName)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+			failed = true
+		} else {
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

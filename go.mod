@@ -1,0 +1,3 @@
+module mixnet
+
+go 1.24

@@ -20,17 +20,42 @@ import (
 // Phases is a sequence of concurrent flow sets.
 type Phases [][]*flowsim.Flow
 
-// Ctx carries routing state shared by collective compilations.
+// Ctx carries routing and simulation state shared by collective
+// compilations. The router's route cache and the embedded flowsim.Sim
+// persist across compilations, so steady-state recompilation of the same
+// collectives reuses routes and simulation buffers instead of reallocating
+// them per phase.
 type Ctx struct {
 	Cluster *topo.Cluster
 	Router  *topo.BFSRouter
 	nextID  int
-	salt    uint64
+	pairSeq map[pairKey]uint8 // per-(src,dst) rotating ECMP salt
+	sim     flowsim.Sim
 }
+
+// pairKey identifies an ordered endpoint pair for ECMP salt rotation.
+type pairKey struct{ src, dst topo.NodeID }
+
+// ecmpSpread bounds the distinct ECMP salts used per endpoint pair.
+// Concurrent flows between the same endpoints still fan out over up to
+// ecmpSpread equal-cost paths, but salts repeat across compilations so the
+// router's route cache hits instead of re-deriving paths every phase.
+const ecmpSpread = 16
 
 // NewCtx creates a compilation context for a cluster.
 func NewCtx(c *topo.Cluster) *Ctx {
-	return &Ctx{Cluster: c, Router: topo.NewBFSRouter(c.G)}
+	return &Ctx{Cluster: c, Router: topo.NewBFSRouter(c.G), pairSeq: make(map[pairKey]uint8)}
+}
+
+// nextSalt returns the rotating ECMP salt for a pair and advances it.
+func (ctx *Ctx) nextSalt(src, dst topo.NodeID) uint64 {
+	if ctx.pairSeq == nil {
+		ctx.pairSeq = make(map[pairKey]uint8)
+	}
+	k := pairKey{src, dst}
+	s := ctx.pairSeq[k]
+	ctx.pairSeq[k] = (s + 1) % ecmpSpread
+	return uint64(s)
 }
 
 // flow routes one transfer and allocates a flow ID. Zero-byte transfers are
@@ -39,8 +64,7 @@ func (ctx *Ctx) flow(src, dst topo.NodeID, bytes float64) (*flowsim.Flow, error)
 	if bytes <= 0 || src == dst {
 		return nil, nil
 	}
-	ctx.salt++
-	rt, err := ctx.Router.Route(src, dst, topo.FlowKey(src, dst, ctx.salt))
+	rt, err := ctx.Router.Route(src, dst, topo.FlowKey(src, dst, ctx.nextSalt(src, dst)))
 	if err != nil {
 		return nil, fmt.Errorf("collective: route %d->%d: %w", src, dst, err)
 	}
@@ -54,8 +78,7 @@ func (ctx *Ctx) flowVia(src, dst topo.NodeID, viaA, viaB topo.NodeID, bytes floa
 	if bytes <= 0 {
 		return nil, nil
 	}
-	ctx.salt++
-	key := topo.FlowKey(src, dst, ctx.salt)
+	key := topo.FlowKey(src, dst, ctx.nextSalt(src, dst))
 	head, err := ctx.Router.Route(src, viaA, key)
 	if err != nil {
 		return nil, fmt.Errorf("collective: route to delegate NIC: %w", err)
@@ -371,14 +394,15 @@ func addSplitFlows(ctx *Ctx, dst *[]*flowsim.Flow, gpus []topo.NodeID, serverOf 
 }
 
 // Makespan simulates the phases sequentially and returns the summed
-// completion time in seconds.
+// completion time in seconds. It runs on the context's reusable Sim, so
+// repeated calls perform no steady-state simulation allocations.
 func Makespan(ctx *Ctx, phases Phases) (float64, error) {
 	var total float64
 	for _, fs := range phases {
 		if len(fs) == 0 {
 			continue
 		}
-		res, err := flowsim.Simulate(ctx.Cluster.G, fs)
+		res, err := ctx.sim.Simulate(ctx.Cluster.G, fs)
 		if err != nil {
 			return 0, err
 		}

@@ -58,15 +58,10 @@ func Run(id string, scale Scale) (Table, error) {
 	return Table{}, fmt.Errorf("experiments: unknown id %q", id)
 }
 
-// All runs every experiment, stopping at the first error.
+// All runs every experiment and returns the tables in registry order,
+// stopping at the first error (in registry order). Execution is spread
+// over a GOMAXPROCS-sized worker pool; see AllParallel to control the
+// worker count.
 func All(scale Scale) ([]Table, error) {
-	var out []Table
-	for _, r := range Registry() {
-		t, err := r.Run(scale)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", r.ID, err)
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	return AllParallel(scale, 0)
 }

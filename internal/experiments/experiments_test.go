@@ -19,6 +19,7 @@ func parseF(t *testing.T, s string) float64 {
 }
 
 func TestTab1RowsMatchPaper(t *testing.T) {
+	t.Parallel()
 	tab := Tab1()
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(tab.Rows))
@@ -29,18 +30,21 @@ func TestTab1RowsMatchPaper(t *testing.T) {
 }
 
 func TestTab2HasSevenTechnologies(t *testing.T) {
+	t.Parallel()
 	if got := len(Tab2().Rows); got != 7 {
 		t.Errorf("rows = %d, want 7", got)
 	}
 }
 
 func TestTab4HasFourBandwidths(t *testing.T) {
+	t.Parallel()
 	if got := len(Tab4().Rows); got != 4 {
 		t.Errorf("rows = %d, want 4", got)
 	}
 }
 
 func TestFig2Shape(t *testing.T) {
+	t.Parallel()
 	tab := Fig2()
 	// Mixtral: TP > EP; LLaMA/Qwen: EP > 80.
 	tp := parseF(t, tab.Rows[0][1])
@@ -56,6 +60,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig3ExpertDominates(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig3(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +78,7 @@ func TestFig3ExpertDominates(t *testing.T) {
 }
 
 func TestFig4VariabilityDecays(t *testing.T) {
+	t.Parallel()
 	tab := Fig4(Quick)
 	first := parseF(t, tab.Rows[0][1])
 	last := parseF(t, tab.Rows[len(tab.Rows)-1][1])
@@ -86,6 +92,7 @@ func TestFig4VariabilityDecays(t *testing.T) {
 }
 
 func TestFig5Locality(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig5()
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +103,7 @@ func TestFig5Locality(t *testing.T) {
 }
 
 func TestFig11MixNetCheaper(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig11(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +118,7 @@ func TestFig11MixNetCheaper(t *testing.T) {
 }
 
 func TestFig19CopilotWins(t *testing.T) {
+	t.Parallel()
 	tab := Fig19(Quick)
 	for _, r := range tab.Rows {
 		random, unchanged, copilot := parseF(t, r[1]), parseF(t, r[2]), parseF(t, r[3])
@@ -120,6 +129,7 @@ func TestFig19CopilotWins(t *testing.T) {
 }
 
 func TestFig21DelaysUnder70ms(t *testing.T) {
+	t.Parallel()
 	tab := Fig21()
 	for _, r := range tab.Rows {
 		if p99 := parseF(t, r[3]); p99 > 70 {
@@ -129,6 +139,7 @@ func TestFig21DelaysUnder70ms(t *testing.T) {
 }
 
 func TestFig24DACCheapest(t *testing.T) {
+	t.Parallel()
 	tab, err := Fig24(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -146,12 +157,14 @@ func TestFig24DACCheapest(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
+	t.Parallel()
 	if _, err := Run("nope", Quick); err == nil {
 		t.Error("unknown id accepted")
 	}
 }
 
 func TestRunDispatch(t *testing.T) {
+	t.Parallel()
 	tab, err := Run("tab2", Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -165,6 +178,7 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestAblationNUMAPermute(t *testing.T) {
+	t.Parallel()
 	tab, err := AblationNUMAPermute()
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +191,7 @@ func TestAblationNUMAPermute(t *testing.T) {
 }
 
 func TestAblationFluidVsPacketAgree(t *testing.T) {
+	t.Parallel()
 	tab, err := AblationFluidVsPacket()
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +204,7 @@ func TestAblationFluidVsPacketAgree(t *testing.T) {
 }
 
 func TestFig10MixNetComparable(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
@@ -205,6 +221,7 @@ func TestFig10MixNetComparable(t *testing.T) {
 }
 
 func TestFig14OverheadsBounded(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
@@ -221,6 +238,7 @@ func TestFig14OverheadsBounded(t *testing.T) {
 }
 
 func TestFig28LatencySensitivity(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}
@@ -236,6 +254,7 @@ func TestFig28LatencySensitivity(t *testing.T) {
 }
 
 func TestFig18NonUniformAcrossBlocks(t *testing.T) {
+	t.Parallel()
 	tab := Fig18(Quick)
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5 blocks", len(tab.Rows))
@@ -253,6 +272,7 @@ func TestFig18NonUniformAcrossBlocks(t *testing.T) {
 }
 
 func TestFig17A2AHeavierThanMixtral(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("engine experiment")
 	}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one experiment's outcome from the parallel runner.
+type RunResult struct {
+	ID      string
+	Table   Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// runners resolves a list of experiment ids to registry entries, in the
+// given order. Unknown ids yield a Runner whose Run returns an error, so
+// failures surface at the same position they would sequentially.
+func runners(ids []string) []Runner {
+	reg := Registry()
+	byID := make(map[string]Runner, len(reg))
+	for _, r := range reg {
+		byID[r.ID] = r
+	}
+	out := make([]Runner, len(ids))
+	for i, id := range ids {
+		r, ok := byID[id]
+		if !ok {
+			r = Runner{ID: id, Run: func(Scale) (Table, error) {
+				return Table{}, fmt.Errorf("experiments: unknown id %q", id)
+			}}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Workers resolves a worker-pool width request against the job count:
+// n <= 0 selects GOMAXPROCS, and the pool never exceeds jobs.
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RunIDs executes the named experiments on a worker pool and returns one
+// RunResult per id, in input order. Every experiment builds its own
+// clusters, engines and seeded gate simulators, so results are independent
+// of scheduling: the tables are byte-identical to a sequential run.
+// workers <= 0 selects GOMAXPROCS.
+func RunIDs(ids []string, scale Scale, workers int) []RunResult {
+	return RunIDsStream(ids, scale, workers, nil)
+}
+
+// RunIDsStream is RunIDs with progressive delivery: emit (if non-nil) is
+// called once per result, in input order, as soon as that result and all
+// earlier ones are available — so a long sweep streams finished tables
+// instead of going silent until the last cell completes. emit runs on the
+// caller's goroutine.
+func RunIDsStream(ids []string, scale Scale, workers int, emit func(RunResult)) []RunResult {
+	reg := runners(ids)
+	results := make([]RunResult, len(reg))
+	workers = Workers(workers, len(reg))
+	if workers <= 1 {
+		for i, r := range reg {
+			start := time.Now()
+			t, err := r.Run(scale)
+			results[i] = RunResult{ID: r.ID, Table: t, Err: err, Elapsed: time.Since(start)}
+			if emit != nil {
+				emit(results[i])
+			}
+		}
+		return results
+	}
+	jobs := make(chan int, len(reg))
+	for i := range reg {
+		jobs <- i
+	}
+	close(jobs)
+	completed := make(chan int, len(reg))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				t, err := reg[i].Run(scale)
+				results[i] = RunResult{ID: reg[i].ID, Table: t, Err: err, Elapsed: time.Since(start)}
+				completed <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+	done := make([]bool, len(reg))
+	next := 0
+	for i := range completed {
+		done[i] = true
+		for next < len(reg) && done[next] {
+			if emit != nil {
+				emit(results[next])
+			}
+			next++
+		}
+	}
+	return results
+}
+
+// AllParallel runs every registered experiment on a worker pool and
+// returns the tables in registry order. Error semantics match the
+// sequential runner: on failure it returns the tables preceding the
+// first-failing experiment (in registry order) and that experiment's
+// error, regardless of scheduling.
+func AllParallel(scale Scale, workers int) ([]Table, error) {
+	reg := Registry()
+	ids := make([]string, len(reg))
+	for i, r := range reg {
+		ids[i] = r.ID
+	}
+	results := RunIDs(ids, scale, workers)
+	out := make([]Table, 0, len(results))
+	for _, res := range results {
+		if res.Err != nil {
+			return out, fmt.Errorf("%s: %w", res.ID, res.Err)
+		}
+		out = append(out, res.Table)
+	}
+	return out, nil
+}

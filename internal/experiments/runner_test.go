@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// determinismIDs is a cross-section of the registry: static tables, gate
+// dynamics, cost sweeps and full engine experiments (the heavyweight
+// fig12/fig13 sweeps are exercised by bench_test.go instead).
+var determinismIDs = []string{"tab1", "tab2", "fig2", "fig4", "fig10", "fig14", "fig21", "fig26", "abl_greedy"}
+
+// render flattens tables to bytes so comparison is exact, not approximate.
+func render(ts []Table) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelRunnerDeterministic proves the worker-pool runner emits
+// byte-identical tables to a sequential run, independent of worker count.
+func TestParallelRunnerDeterministic(t *testing.T) {
+	t.Parallel()
+	seq := RunIDs(determinismIDs, Quick, 1)
+	par := RunIDs(determinismIDs, Quick, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	seqTabs := make([]Table, 0, len(seq))
+	parTabs := make([]Table, 0, len(par))
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s: seq err %v, par err %v", determinismIDs[i], seq[i].Err, par[i].Err)
+		}
+		if seq[i].ID != determinismIDs[i] || par[i].ID != determinismIDs[i] {
+			t.Fatalf("result %d out of order: seq %s, par %s, want %s",
+				i, seq[i].ID, par[i].ID, determinismIDs[i])
+		}
+		seqTabs = append(seqTabs, seq[i].Table)
+		parTabs = append(parTabs, par[i].Table)
+	}
+	if s, p := render(seqTabs), render(parTabs); s != p {
+		t.Errorf("parallel tables differ from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestParallelRunnerRepeatable proves two parallel runs agree with each
+// other (seed-stable experiments, no cross-run state leakage).
+func TestParallelRunnerRepeatable(t *testing.T) {
+	t.Parallel()
+	a := RunIDs(determinismIDs[:4], Quick, 3)
+	b := RunIDs(determinismIDs[:4], Quick, 3)
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("%s: errs %v, %v", a[i].ID, a[i].Err, b[i].Err)
+		}
+		if a[i].Table.String() != b[i].Table.String() {
+			t.Errorf("%s: repeated parallel runs differ", a[i].ID)
+		}
+	}
+}
+
+// TestRunIDsStreamOrder proves streamed delivery arrives strictly in
+// input order with the same results the batch API returns.
+func TestRunIDsStreamOrder(t *testing.T) {
+	t.Parallel()
+	ids := determinismIDs[:5]
+	var streamed []string
+	res := RunIDsStream(ids, Quick, 3, func(r RunResult) {
+		streamed = append(streamed, r.ID)
+	})
+	if len(streamed) != len(ids) {
+		t.Fatalf("emitted %d results, want %d", len(streamed), len(ids))
+	}
+	for i, id := range ids {
+		if streamed[i] != id {
+			t.Errorf("stream position %d: got %s, want %s", i, streamed[i], id)
+		}
+		if res[i].ID != id || res[i].Err != nil {
+			t.Errorf("result %d: id %s err %v", i, res[i].ID, res[i].Err)
+		}
+	}
+}
+
+// TestWorkers pins the pool-width resolution used by cmd/mixnet-bench.
+func TestWorkers(t *testing.T) {
+	t.Parallel()
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d, want 3", got)
+	}
+	if got := Workers(0, 5); got < 1 {
+		t.Errorf("Workers(0,5) = %d, want >= 1", got)
+	}
+	if got := Workers(-2, 0); got != 1 {
+		t.Errorf("Workers(-2,0) = %d, want 1", got)
+	}
+}
+
+// TestRunIDsUnknownID surfaces unknown ids as positional errors rather
+// than panics or silent drops.
+func TestRunIDsUnknownID(t *testing.T) {
+	t.Parallel()
+	res := RunIDs([]string{"tab2", "nope"}, Quick, 2)
+	if res[0].Err != nil {
+		t.Errorf("tab2 failed: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Error("unknown id did not error")
+	}
+}
+

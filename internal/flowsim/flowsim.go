@@ -5,12 +5,20 @@
 // It is the fast substrate used for the paper's large-scale sweeps
 // (1024–32768 GPUs); internal/packetsim is the high-fidelity packet-level
 // counterpart, and the two are cross-validated in tests.
+//
+// The hot path is allocation-free in steady state: a Sim carries a dense
+// per-link arena (epoch-stamped slices indexed by topo.LinkID plus a
+// touched-link list) and reusable pending/active buffers, so repeated
+// Simulate calls over the same graph perform zero heap allocations once
+// the buffers have grown to size. The package-level Simulate draws Sims
+// from a pool and is safe for concurrent use.
 package flowsim
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"mixnet/internal/topo"
 )
@@ -38,10 +46,64 @@ type Result struct {
 	Events   int     // number of rate recomputations
 }
 
+// Sim is a reusable simulation engine. The zero value is ready to use; a
+// Sim amortises its pending/active buffers and the max-min link arena
+// across Simulate calls, reaching zero steady-state heap allocations.
+// A Sim must not be used from multiple goroutines concurrently.
+type Sim struct {
+	pending []*Flow
+	active  []*Flow
+	arena   linkArena
+}
+
+// linkArena is the dense per-link state for progressive filling: slices
+// indexed by LinkID, validity tracked by an epoch stamp so reset is O(1)
+// and only links actually crossed by active flows (the touched list) are
+// ever visited.
+type linkArena struct {
+	epoch   uint32
+	stamp   []uint32      // stamp[l] == epoch => cap/count valid for l
+	cap     []float64     // remaining capacity, bytes/s
+	count   []int32       // unfrozen flows crossing the link
+	touched []topo.LinkID // links referenced by the current active set
+}
+
+// reset prepares the arena for a graph with nLinks links and starts a new
+// epoch. Allocation happens only when the graph outgrew the arena.
+func (a *linkArena) reset(nLinks int) {
+	if len(a.stamp) < nLinks {
+		a.stamp = make([]uint32, nLinks)
+		a.cap = make([]float64, nLinks)
+		a.count = make([]int32, nLinks)
+	}
+	a.epoch++
+	if a.epoch == 0 { // wrapped: stamps from the previous cycle are stale
+		clear(a.stamp)
+		a.epoch = 1
+	}
+	a.touched = a.touched[:0]
+}
+
+// NewSim returns an empty reusable simulator.
+func NewSim() *Sim { return &Sim{} }
+
+// simPool backs the package-level Simulate so legacy callers also reuse
+// buffers without sharing a Sim across goroutines.
+var simPool = sync.Pool{New: func() any { return NewSim() }}
+
 // Simulate computes max-min fair completion times for the given flows over
 // graph g. Flow Finish fields are written in place. Links that are down
-// make their flows error.
+// make their flows error. It is safe for concurrent use; callers with a
+// long-lived Sim should prefer Sim.Simulate to keep buffer reuse local.
 func Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
+	s := simPool.Get().(*Sim)
+	res, err := s.Simulate(g, flows)
+	simPool.Put(s)
+	return res, err
+}
+
+// Simulate runs one fluid simulation reusing the Sim's buffers.
+func (s *Sim) Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
 	var res Result
 	if len(flows) == 0 {
 		return res, nil
@@ -63,11 +125,19 @@ func Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
 	}
 
 	// Pending flows sorted by start time.
-	pending := append([]*Flow(nil), flows...)
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Start < pending[j].Start })
+	pending := append(s.pending[:0], flows...)
+	slices.SortStableFunc(pending, func(a, b *Flow) int {
+		switch {
+		case a.Start < b.Start:
+			return -1
+		case a.Start > b.Start:
+			return 1
+		}
+		return 0
+	})
 	nextPending := 0
 
-	var active []*Flow
+	active := s.active[:0]
 	now := 0.0
 	if len(pending) > 0 {
 		now = pending[0].Start
@@ -98,13 +168,14 @@ func Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
 			break
 		}
 
-		computeMaxMin(g, active)
+		s.computeMaxMin(g, active)
 		res.Events++
 
 		// Time to next completion among active flows.
 		dt := math.Inf(1)
 		for _, f := range active {
 			if f.rate <= 0 {
+				s.release(pending, active)
 				return res, fmt.Errorf("flowsim: flow %d starved (rate 0)", f.ID)
 			}
 			if t := f.remaining / f.rate; t < dt {
@@ -134,38 +205,49 @@ func Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
 		}
 		active = out
 	}
+	s.release(pending, active)
 	return res, nil
 }
 
+// release hands the (possibly regrown) buffers back to the Sim and drops
+// flow pointers so a pooled Sim does not pin the last caller's flow set.
+func (s *Sim) release(pending, active []*Flow) {
+	clear(pending)
+	clear(active[:cap(active)])
+	s.pending = pending[:0]
+	s.active = active[:0]
+}
+
 // computeMaxMin assigns max-min fair rates (bytes/s) to the active flows by
-// progressive filling.
-func computeMaxMin(g *topo.Graph, active []*Flow) {
-	type linkState struct {
-		cap   float64 // remaining capacity, bytes/s
-		count int     // unfrozen flows crossing it
-	}
-	links := make(map[topo.LinkID]*linkState)
+// progressive filling over the dense link arena. It allocates only when the
+// graph outgrew the arena.
+func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
+	a := &s.arena
+	a.reset(len(g.Links))
+	epoch := a.epoch
 	for _, f := range active {
 		f.frozen = false
 		f.rate = 0
 		for _, lid := range f.Path {
-			ls := links[lid]
-			if ls == nil {
-				ls = &linkState{cap: g.Link(lid).Bps / 8}
-				links[lid] = ls
+			if a.stamp[lid] != epoch {
+				a.stamp[lid] = epoch
+				a.cap[lid] = g.Links[lid].Bps / 8
+				a.count[lid] = 0
+				a.touched = append(a.touched, lid)
 			}
-			ls.count++
+			a.count[lid]++
 		}
 	}
 	unfrozen := len(active)
 	for unfrozen > 0 {
 		// Find the tightest link.
 		min := math.Inf(1)
-		for _, ls := range links {
-			if ls.count == 0 {
+		for _, lid := range a.touched {
+			c := a.count[lid]
+			if c == 0 {
 				continue
 			}
-			if fair := ls.cap / float64(ls.count); fair < min {
+			if fair := a.cap[lid] / float64(c); fair < min {
 				min = fair
 			}
 		}
@@ -188,8 +270,7 @@ func computeMaxMin(g *topo.Graph, active []*Flow) {
 			}
 			bottled := false
 			for _, lid := range f.Path {
-				ls := links[lid]
-				if ls.count > 0 && ls.cap/float64(ls.count) <= min*(1+1e-12) {
+				if c := a.count[lid]; c > 0 && a.cap[lid]/float64(c) <= min*(1+1e-12) {
 					bottled = true
 					break
 				}
@@ -201,12 +282,11 @@ func computeMaxMin(g *topo.Graph, active []*Flow) {
 			f.frozen = true
 			unfrozen--
 			for _, lid := range f.Path {
-				ls := links[lid]
-				ls.cap -= min
-				if ls.cap < 0 {
-					ls.cap = 0
+				a.cap[lid] -= min
+				if a.cap[lid] < 0 {
+					a.cap[lid] = 0
 				}
-				ls.count--
+				a.count[lid]--
 			}
 		}
 	}

@@ -143,17 +143,23 @@ func (g *Graph) SetLinkUp(id LinkID, up bool) {
 }
 
 // SetDuplexUp flips both directions of a duplex pair created by AddDuplex,
-// identified by either directed ID (the pair is id^1 by construction when
-// both were added consecutively). Callers that kept both IDs should prefer
-// calling SetLinkUp twice; this helper assumes consecutive allocation.
+// identified by either directed ID. AddDuplex allocates the pair
+// consecutively but at an arbitrary offset, so the partner is the adjacent
+// link (id^1 for the common even-aligned case — which also disambiguates
+// parallel duplex rails between the same endpoints — with id+1/id-1 as the
+// odd-offset fallback) whose endpoints are the reverse of ab's. Callers
+// that kept both IDs should prefer calling SetLinkUp twice; this helper
+// assumes consecutive allocation.
 func (g *Graph) SetDuplexUp(ab LinkID, up bool) {
 	g.SetLinkUp(ab, up)
-	// Duplex pairs are allocated consecutively (ab even offset first).
-	other := ab ^ 1
-	if int(other) < len(g.Links) {
-		l, o := g.Links[ab], g.Links[other]
-		if l.From == o.To && l.To == o.From {
-			g.SetLinkUp(other, up)
+	l := g.Links[ab]
+	for _, other := range [3]LinkID{ab ^ 1, ab + 1, ab - 1} {
+		if other >= 0 && int(other) < len(g.Links) {
+			o := g.Links[other]
+			if l.From == o.To && l.To == o.From {
+				g.SetLinkUp(other, up)
+				return
+			}
 		}
 	}
 }

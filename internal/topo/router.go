@@ -20,7 +20,9 @@ type Router interface {
 }
 
 // BFSRouter is a generic shortest-path ECMP router. It caches per-destination
-// distance fields and invalidates them when the graph epoch changes.
+// distance fields and fully resolved routes, and invalidates both when the
+// graph epoch changes, so steady-state Route calls perform zero heap
+// allocations.
 //
 // Path selection walks from src towards dst, at each hop choosing among the
 // neighbours that strictly decrease the distance to dst, hashed by
@@ -28,19 +30,39 @@ type Router interface {
 type BFSRouter struct {
 	G *Graph
 
-	epoch uint64
-	dist  map[NodeID][]int32 // dst -> distance of every node to dst (hops), -1 unreachable
-	queue []NodeID           // scratch
+	epoch  uint64
+	dist   map[NodeID][]int32 // dst -> distance of every node to dst (hops), -1 unreachable
+	routes map[routeKey]Route // resolved paths, keyed by (src, dst, flowKey)
+	queue  []NodeID           // scratch
+	cands  []LinkID           // per-hop ECMP candidate scratch
+}
+
+// routeKey identifies a cached route. flowKey is part of the key because it
+// seeds the per-hop ECMP hash: the same (src, dst) pair takes different
+// equal-cost paths under different keys.
+type routeKey struct {
+	src, dst NodeID
+	flow     uint64
 }
 
 // NewBFSRouter creates a router over g.
 func NewBFSRouter(g *Graph) *BFSRouter {
-	return &BFSRouter{G: g, dist: make(map[NodeID][]int32)}
+	return &BFSRouter{G: g, dist: make(map[NodeID][]int32), routes: make(map[routeKey]Route)}
 }
 
-// Invalidate drops all cached distance fields. Callers normally do not need
-// this: the cache self-invalidates on graph mutation via the epoch counter.
-func (r *BFSRouter) Invalidate() { r.dist = make(map[NodeID][]int32) }
+// Invalidate drops all cached distance fields and routes. Callers normally
+// do not need this: the caches self-invalidate on graph mutation via the
+// epoch counter.
+func (r *BFSRouter) Invalidate() {
+	if r.dist == nil {
+		r.dist = make(map[NodeID][]int32)
+	}
+	if r.routes == nil {
+		r.routes = make(map[routeKey]Route)
+	}
+	clear(r.dist)
+	clear(r.routes)
+}
 
 func (r *BFSRouter) distField(dst NodeID) []int32 {
 	if r.epoch != r.G.Epoch() {
@@ -88,15 +110,21 @@ func hash64(x uint64) uint64 {
 	return x
 }
 
-// Route implements Router.
+// Route implements Router. The returned Route may be shared with the
+// router's cache and other callers with the same (src, dst, flowKey):
+// treat it as read-only.
 func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 	if src == dst {
 		return nil, nil
 	}
 	g := r.G
-	d := r.distField(dst)
+	d := r.distField(dst) // also syncs caches with the graph epoch
 	if d[src] < 0 {
 		return nil, ErrNoRoute
+	}
+	key := routeKey{src, dst, flowKey}
+	if rt, ok := r.routes[key]; ok {
+		return rt, nil
 	}
 	route := make(Route, 0, d[src])
 	cur := src
@@ -104,13 +132,14 @@ func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 	for cur != dst {
 		want := d[cur] - 1
 		// Gather candidate links that strictly approach dst.
-		var cands []LinkID
+		cands := r.cands[:0]
 		for _, lid := range g.out[cur] {
 			l := &g.Links[lid]
 			if l.Up && d[l.To] == want {
 				cands = append(cands, lid)
 			}
 		}
+		r.cands = cands[:0]
 		if len(cands) == 0 {
 			return nil, ErrNoRoute
 		}
@@ -128,6 +157,7 @@ func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 			return nil, errors.New("topo: routing loop")
 		}
 	}
+	r.routes[key] = route
 	return route, nil
 }
 

@@ -19,6 +19,7 @@ func (e *Engine) OverrideGPU(orig, repl topo.NodeID) {
 	if e.gpuOverride == nil {
 		e.gpuOverride = map[topo.NodeID]topo.NodeID{}
 	}
+	e.overrideGen++
 	if orig == repl {
 		delete(e.gpuOverride, orig)
 		return

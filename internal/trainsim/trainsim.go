@@ -102,7 +102,18 @@ type Engine struct {
 
 	// failure state (§5.4)
 	gpuOverride map[topo.NodeID]topo.NodeID
+	overrideGen int // bumped on OverrideGPU; invalidates leader caches
 	tpOverEPS   int
+
+	// reusable per-iteration scratch: leader GPU set and the expanded
+	// all-to-all node/demand buffers, recomputed only when a GPU override
+	// changes the placement.
+	leaderGen int // overrideGen+1 when leaderBuf/leaderSrv are valid
+	leaderBuf []topo.NodeID
+	leaderSrv []int
+	a2aGen    int
+	a2aGPUs   []topo.NodeID
+	a2aDemand *metrics.Matrix
 }
 
 // PhaseBreakdown is Figure 3's per-layer forward timeline.
@@ -195,29 +206,48 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 }
 
 // leaderGPUs returns the EP rank leader GPU nodes for the representative
-// group, and each rank's global server index.
+// group, and each rank's global server index. The returned slices are
+// cached on the engine and only rebuilt after a GPU override; callers must
+// not modify them.
 func (e *Engine) leaderGPUs() ([]topo.NodeID, []int) {
+	if e.leaderGen == e.overrideGen+1 {
+		return e.leaderBuf, e.leaderSrv
+	}
 	p := e.Plan
-	gpus := make([]topo.NodeID, p.EP)
-	servers := make([]int, p.EP)
+	if cap(e.leaderBuf) < p.EP {
+		e.leaderBuf = make([]topo.NodeID, p.EP)
+		e.leaderSrv = make([]int, p.EP)
+	}
+	gpus, servers := e.leaderBuf[:p.EP], e.leaderSrv[:p.EP]
 	for ep := 0; ep < p.EP; ep++ {
 		gpus[ep] = e.mapGPU(e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: 0}))
 		servers[ep] = e.Cluster.G.Node(gpus[ep]).Server
 	}
+	e.leaderBuf, e.leaderSrv = gpus, servers
+	e.leaderGen = e.overrideGen + 1
 	return gpus, servers
 }
 
 // expandedA2A spreads the rank demand across all EP*TP GPUs so the direct
-// all-to-all exercises every NIC on electrical fabrics.
+// all-to-all exercises every NIC on electrical fabrics. The node list and
+// demand matrix are engine-owned scratch reused across layers/iterations:
+// the same off-diagonal cells are overwritten on every call.
 func (e *Engine) expandedA2A(demand *metrics.Matrix) ([]topo.NodeID, *metrics.Matrix) {
 	p := e.Plan
 	n := p.EP * p.TP
-	gpus := make([]topo.NodeID, n)
-	d := metrics.NewMatrix(n, n)
-	for ep := 0; ep < p.EP; ep++ {
-		for tp := 0; tp < p.TP; tp++ {
-			gpus[ep*p.TP+tp] = e.mapGPU(e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: tp}))
+	if e.a2aDemand == nil || e.a2aDemand.Rows != n {
+		e.a2aGPUs = make([]topo.NodeID, n)
+		e.a2aDemand = metrics.NewMatrix(n, n)
+		e.a2aGen = 0
+	}
+	gpus, d := e.a2aGPUs, e.a2aDemand
+	if e.a2aGen != e.overrideGen+1 {
+		for ep := 0; ep < p.EP; ep++ {
+			for tp := 0; tp < p.TP; tp++ {
+				gpus[ep*p.TP+tp] = e.mapGPU(e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: tp}))
+			}
 		}
+		e.a2aGen = e.overrideGen + 1
 	}
 	inv := 1 / float64(p.TP)
 	for i := 0; i < p.EP; i++ {
