@@ -27,6 +27,7 @@ import (
 // benchReport is the machine-readable BENCH_*.json schema.
 type benchReport struct {
 	Scale        string            `json:"scale"`
+	Backend      string            `json:"backend"`
 	Workers      int               `json:"workers"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Experiments  []benchExperiment `json:"experiments"`
@@ -44,6 +45,7 @@ type benchExperiment struct {
 func main() {
 	var (
 		full     = flag.Bool("full", false, "paper-scale dimensions (slow)")
+		backend  = flag.String("backend", "", "network simulation backend: fluid (default) | packet | analytic")
 		only     = flag.String("only", "", "run a single experiment id")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		par      = flag.Int("par", 0, "worker-pool width (0 = GOMAXPROCS)")
@@ -62,13 +64,17 @@ func main() {
 	if *full {
 		scale, scaleName = experiments.Full, "full"
 	}
+	if err := experiments.SetDefaultBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	ids := mixnet.ExperimentIDs()
 	if *only != "" {
 		ids = []string{*only}
 	}
 
 	workers := experiments.Workers(*par, len(ids))
-	report := benchReport{Scale: scaleName, Workers: workers}
+	report := benchReport{Scale: scaleName, Backend: experiments.DefaultBackend(), Workers: workers}
 	failed := false
 	start := time.Now()
 	// Stream finished tables in input order as the pool completes them.
@@ -92,7 +98,11 @@ func main() {
 	if *jsonOut || *jsonPath != "" {
 		path := *jsonPath
 		if path == "" {
-			path = fmt.Sprintf("BENCH_%s.json", scaleName)
+			if b := experiments.DefaultBackend(); b != "fluid" {
+				path = fmt.Sprintf("BENCH_%s_%s.json", scaleName, b)
+			} else {
+				path = fmt.Sprintf("BENCH_%s.json", scaleName)
+			}
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {

@@ -17,15 +17,16 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
-		fabric = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
-		gbps   = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
-		dp     = flag.Int("dp", 1, "data-parallel replicas")
-		iters  = flag.Int("iters", 3, "iterations to simulate")
-		mode   = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
-		delay  = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
-		seed   = flag.Int64("seed", 1, "gate random seed")
-		list   = flag.Bool("list", false, "list models and exit")
+		model   = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
+		fabric  = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
+		backend = flag.String("backend", "fluid", "network simulation backend: fluid | packet | analytic")
+		gbps    = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
+		dp      = flag.Int("dp", 1, "data-parallel replicas")
+		iters   = flag.Int("iters", 3, "iterations to simulate")
+		mode    = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
+		delay   = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
+		seed    = flag.Int64("seed", 1, "gate random seed")
+		list    = flag.Bool("list", false, "list models and exit")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
-		Model: *model, Fabric: kind, LinkGbps: *gbps, DP: *dp,
+		Model: *model, Fabric: kind, Backend: *backend, LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})
@@ -56,8 +57,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps\n",
-		*model, kind, res.GPUs, res.Servers, *gbps)
+	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s backend)\n",
+		*model, kind, res.GPUs, res.Servers, *gbps, *backend)
 	fmt.Printf("%-5s %-10s %-10s %-10s %-10s %-10s %s\n",
 		"iter", "time(s)", "a2a(s)", "comp(s)", "blocked(s)", "dp(s)", "reconfigs")
 	for _, s := range res.Stats {

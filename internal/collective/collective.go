@@ -12,16 +12,18 @@ package collective
 import (
 	"fmt"
 
-	"mixnet/internal/flowsim"
 	"mixnet/internal/metrics"
+	"mixnet/internal/netsim"
 	"mixnet/internal/topo"
 )
 
-// Phases is a sequence of concurrent flow sets.
-type Phases [][]*flowsim.Flow
+// Phases is a sequence of concurrent flow sets in the backend-neutral
+// netsim representation, so a compiled collective can be simulated at any
+// fidelity (fluid, packet, analytic) without recompilation.
+type Phases = netsim.Phases
 
 // Ctx carries routing and simulation state shared by collective
-// compilations. The router's route cache and the embedded flowsim.Sim
+// compilations. The router's route cache and the attached netsim backend
 // persist across compilations, so steady-state recompilation of the same
 // collectives reuses routes and simulation buffers instead of reallocating
 // them per phase.
@@ -30,7 +32,7 @@ type Ctx struct {
 	Router  *topo.BFSRouter
 	nextID  int
 	pairSeq map[pairKey]uint8 // per-(src,dst) rotating ECMP salt
-	sim     flowsim.Sim
+	backend netsim.Backend
 }
 
 // pairKey identifies an ordered endpoint pair for ECMP salt rotation.
@@ -42,10 +44,24 @@ type pairKey struct{ src, dst topo.NodeID }
 // router's route cache hits instead of re-deriving paths every phase.
 const ecmpSpread = 16
 
-// NewCtx creates a compilation context for a cluster.
+// NewCtx creates a compilation context for a cluster simulating on the
+// default fluid backend.
 func NewCtx(c *topo.Cluster) *Ctx {
-	return &Ctx{Cluster: c, Router: topo.NewBFSRouter(c.G), pairSeq: make(map[pairKey]uint8)}
+	return NewCtxWithBackend(c, netsim.NewFluid())
 }
+
+// NewCtxWithBackend creates a compilation context that simulates compiled
+// phases on the given netsim backend. The backend becomes owned by the
+// context (backends are not safe for concurrent use).
+func NewCtxWithBackend(c *topo.Cluster, b netsim.Backend) *Ctx {
+	if b == nil {
+		b = netsim.NewFluid()
+	}
+	return &Ctx{Cluster: c, Router: topo.NewBFSRouter(c.G), pairSeq: make(map[pairKey]uint8), backend: b}
+}
+
+// Backend returns the netsim backend the context simulates on.
+func (ctx *Ctx) Backend() netsim.Backend { return ctx.backend }
 
 // nextSalt returns the rotating ECMP salt for a pair and advances it.
 func (ctx *Ctx) nextSalt(src, dst topo.NodeID) uint64 {
@@ -60,7 +76,7 @@ func (ctx *Ctx) nextSalt(src, dst topo.NodeID) uint64 {
 
 // flow routes one transfer and allocates a flow ID. Zero-byte transfers are
 // skipped (returns nil, nil).
-func (ctx *Ctx) flow(src, dst topo.NodeID, bytes float64) (*flowsim.Flow, error) {
+func (ctx *Ctx) flow(src, dst topo.NodeID, bytes float64) (*netsim.Flow, error) {
 	if bytes <= 0 || src == dst {
 		return nil, nil
 	}
@@ -69,12 +85,12 @@ func (ctx *Ctx) flow(src, dst topo.NodeID, bytes float64) (*flowsim.Flow, error)
 		return nil, fmt.Errorf("collective: route %d->%d: %w", src, dst, err)
 	}
 	ctx.nextID++
-	return &flowsim.Flow{ID: ctx.nextID, Path: rt, Bytes: bytes}, nil
+	return &netsim.Flow{ID: ctx.nextID, Path: rt, Bytes: bytes}, nil
 }
 
 // flowVia routes a transfer through an explicit circuit link: the path is
 // src -> circuit.A's NIC, the circuit itself, then circuit.B's NIC -> dst.
-func (ctx *Ctx) flowVia(src, dst topo.NodeID, viaA, viaB topo.NodeID, bytes float64) (*flowsim.Flow, error) {
+func (ctx *Ctx) flowVia(src, dst topo.NodeID, viaA, viaB topo.NodeID, bytes float64) (*netsim.Flow, error) {
 	if bytes <= 0 {
 		return nil, nil
 	}
@@ -93,7 +109,7 @@ func (ctx *Ctx) flowVia(src, dst topo.NodeID, viaA, viaB topo.NodeID, bytes floa
 	}
 	path := append(append(append(topo.Route{}, head...), mid...), tail...)
 	ctx.nextID++
-	return &flowsim.Flow{ID: ctx.nextID, Path: path, Bytes: bytes}, nil
+	return &netsim.Flow{ID: ctx.nextID, Path: path, Bytes: bytes}, nil
 }
 
 // RingAllReduce compiles a ring all-reduce over the given GPU nodes: every
@@ -105,7 +121,7 @@ func RingAllReduce(ctx *Ctx, gpus []topo.NodeID, bytes float64) (Phases, error) 
 		return nil, nil
 	}
 	per := 2 * bytes * float64(n-1) / float64(n)
-	var fs []*flowsim.Flow
+	var fs []*netsim.Flow
 	for i := 0; i < n; i++ {
 		f, err := ctx.flow(gpus[i], gpus[(i+1)%n], per)
 		if err != nil {
@@ -128,7 +144,7 @@ func HierarchicalAllReduce(ctx *Ctx, servers []int, gatewayGPU int, bytes float6
 	if len(servers) == 0 || bytes <= 0 {
 		return nil, nil
 	}
-	var reduce, bcast []*flowsim.Flow
+	var reduce, bcast []*netsim.Flow
 	gateways := make([]topo.NodeID, len(servers))
 	for si, s := range servers {
 		srv := &c.Servers[s]
@@ -174,7 +190,7 @@ func HierarchicalAllReduce(ctx *Ctx, servers []int, gatewayGPU int, bytes float6
 // DirectAllToAll compiles the baseline all-to-all: rank i streams
 // demand[i][j] straight to rank j's GPU over whatever fabric routing finds.
 func DirectAllToAll(ctx *Ctx, gpus []topo.NodeID, demand *metrics.Matrix) (Phases, error) {
-	var fs []*flowsim.Flow
+	var fs []*netsim.Flow
 	for i := 0; i < demand.Rows; i++ {
 		for j := 0; j < demand.Cols; j++ {
 			if i == j {
@@ -238,7 +254,7 @@ func TopologyAwareAllToAll(ctx *Ctx, region int, gpus []topo.NodeID, demand *met
 	}
 	type key [2]int
 	pairVol := map[key]float64{}
-	var gather, inter, intra, scatter []*flowsim.Flow
+	var gather, inter, intra, scatter []*netsim.Flow
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -373,7 +389,7 @@ func demandColShare(d *metrics.Matrix, serverOf []int, si, sj int, share float64
 // addSplitFlows emits gather or scatter flows between rank GPUs and a
 // delegate GPU on one server: rank->delegate when fromDelegate is false
 // (step 2), delegate->rank when true (step 5).
-func addSplitFlows(ctx *Ctx, dst *[]*flowsim.Flow, gpus []topo.NodeID, serverOf []int, server int, delegate topo.NodeID, fromDelegate bool, perRank map[int]float64) error {
+func addSplitFlows(ctx *Ctx, dst *[]*netsim.Flow, gpus []topo.NodeID, serverOf []int, server int, delegate topo.NodeID, fromDelegate bool, perRank map[int]float64) error {
 	for r, v := range perRank {
 		if gpus[r] == delegate || v <= 0 || serverOf[r] != server {
 			continue
@@ -393,20 +409,10 @@ func addSplitFlows(ctx *Ctx, dst *[]*flowsim.Flow, gpus []topo.NodeID, serverOf 
 	return nil
 }
 
-// Makespan simulates the phases sequentially and returns the summed
-// completion time in seconds. It runs on the context's reusable Sim, so
-// repeated calls perform no steady-state simulation allocations.
+// Makespan simulates the phases sequentially on the context's backend and
+// returns the summed completion time in seconds. The backend's buffers are
+// reused, so on the fluid and analytic backends repeated calls perform no
+// steady-state simulation allocations.
 func Makespan(ctx *Ctx, phases Phases) (float64, error) {
-	var total float64
-	for _, fs := range phases {
-		if len(fs) == 0 {
-			continue
-		}
-		res, err := ctx.sim.Simulate(ctx.Cluster.G, fs)
-		if err != nil {
-			return 0, err
-		}
-		total += res.Makespan
-	}
-	return total, nil
+	return ctx.backend.Makespan(ctx.Cluster.G, phases)
 }

@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"mixnet/internal/flowsim"
 	"mixnet/internal/metrics"
+	"mixnet/internal/netsim"
 	"mixnet/internal/topo"
 )
 
@@ -19,13 +19,7 @@ func mixnetCtx(t *testing.T, servers int) *Ctx {
 	return NewCtx(topo.BuildMixNet(topo.DefaultSpec(servers, 100*topo.Gbps)))
 }
 
-func phaseBytes(p Phases) float64 {
-	var s float64
-	for _, fs := range p {
-		s += flowsim.TotalBytes(fs)
-	}
-	return s
-}
+func phaseBytes(p Phases) float64 { return netsim.PhaseBytes(p) }
 
 func TestRingAllReduceVolume(t *testing.T) {
 	ctx := fatTreeCtx(t, 4)

@@ -102,6 +102,21 @@ func New() *Simulator { return &Simulator{} }
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
+// Reset returns the clock to 0 and empties the event queue, retaining the
+// queue's backing array so a reused Simulator does not regrow it. Pending
+// events are cancelled.
+func (s *Simulator) Reset() {
+	for i, e := range s.queue {
+		e.index = -1
+		e.fn = nil
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.nsteps = 0
+}
+
 // Steps returns the number of events executed so far.
 func (s *Simulator) Steps() uint64 { return s.nsteps }
 

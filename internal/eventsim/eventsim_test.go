@@ -238,3 +238,23 @@ func TestPropertyFinalClock(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSimulatorReset(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(5, func() { fired = true })
+	s.Schedule(9, func() { fired = true })
+	s.Reset()
+	if s.Run() != 0 || fired {
+		t.Error("Reset did not cancel pending events")
+	}
+	if s.Now() != 0 || s.Steps() != 0 || s.Pending() != 0 {
+		t.Errorf("Reset state: now=%v steps=%d pending=%d", s.Now(), s.Steps(), s.Pending())
+	}
+	// The simulator is fully reusable after Reset.
+	ran := 0
+	s.Schedule(3, func() { ran++ })
+	if s.Run() != 3 || ran != 1 {
+		t.Errorf("post-Reset run: now=%v ran=%d", s.Now(), ran)
+	}
+}

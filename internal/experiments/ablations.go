@@ -7,8 +7,8 @@ import (
 
 	"mixnet/internal/flowsim"
 	"mixnet/internal/moe"
+	"mixnet/internal/netsim"
 	"mixnet/internal/ocs"
-	"mixnet/internal/packetsim"
 	"mixnet/internal/topo"
 	"mixnet/internal/trainsim"
 )
@@ -72,7 +72,7 @@ func AblationFirstA2A(scale Scale) (Table, error) {
 		c := buildCluster(topo.FabricMixNet, servers, 100*topo.Gbps, plan)
 		opts := mixnetOpts(67)
 		opts.FirstA2A = mode
-		e, err := trainsim.New(m, plan, c, opts)
+		e, err := newEngine(m, plan, c, opts)
 		if err != nil {
 			return t, err
 		}
@@ -207,19 +207,21 @@ func AblationNUMAPermute() (Table, error) {
 	return t, nil
 }
 
-// AblationFluidVsPacket cross-validates the fluid simulator against the
-// packet-level simulator on randomised single-region all-to-alls.
+// AblationFluidVsPacket cross-validates the three netsim backends on
+// randomised single-region all-to-alls: identical netsim.Phases are fed
+// through the shared Backend interface instead of constructing per-substrate
+// flow sets, so any divergence is attributable to the models, not the input.
 func AblationFluidVsPacket() (Table, error) {
 	t := Table{
-		ID: "abl_fluid", Title: "Ablation: fluid vs packet-level simulator",
-		Header: []string{"Scenario", "Fluid (ms)", "Packet (ms)", "Gap"},
+		ID: "abl_fluid", Title: "Ablation: simulation backend fidelity (fluid vs packet vs analytic)",
+		Header: []string{"Scenario", "Fluid (ms)", "Packet (ms)", "Analytic (ms)", "Pkt gap", "Ana gap"},
+		Notes:  "gaps relative to fluid; analytic is a lower bound (no max-min iteration)",
 	}
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 3; trial++ {
 		c := topo.BuildMixNet(topo.DefaultSpec(4, 100*topo.Gbps))
 		r := topo.NewBFSRouter(c.G)
-		var ff []*flowsim.Flow
-		var pf []*packetsim.Flow
+		var fs []*netsim.Flow
 		id := 0
 		for i := 0; i < 4; i++ {
 			for j := 0; j < 4; j++ {
@@ -232,18 +234,32 @@ func AblationFluidVsPacket() (Table, error) {
 					return t, err
 				}
 				bytes := (1 + rng.Int63n(32)) << 20
-				ff = append(ff, &flowsim.Flow{ID: id, Path: rt, Bytes: float64(bytes)})
-				pf = append(pf, &packetsim.Flow{ID: id, Path: rt, Bytes: bytes})
+				fs = append(fs, &netsim.Flow{ID: id, Path: rt, Bytes: float64(bytes)})
 				id++
 			}
 		}
-		fm := flowsim.Makespan(c.G, ff)
-		pm := packetsim.Makespan(c.G, pf, packetsim.Config{})
-		gap := math.Abs(fm-pm) / math.Max(fm, 1e-12)
+		phases := netsim.Phases{fs}
+		times := make(map[string]float64, 3)
+		for _, name := range netsim.Names() {
+			b, err := netsim.New(name)
+			if err != nil {
+				return t, err
+			}
+			times[name], err = b.Makespan(c.G, phases)
+			if err != nil {
+				return t, err
+			}
+		}
+		fm := times["fluid"]
+		gap := func(v float64) string {
+			return fmt.Sprintf("%.1f%%", math.Abs(v-fm)/math.Max(fm, 1e-12)*100)
+		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("random-a2a-%d (%d flows)", trial, len(ff)),
-			fmt.Sprintf("%.2f", fm*1e3), fmt.Sprintf("%.2f", pm*1e3),
-			fmt.Sprintf("%.1f%%", gap*100),
+			fmt.Sprintf("random-a2a-%d (%d flows)", trial, len(fs)),
+			fmt.Sprintf("%.2f", fm*1e3),
+			fmt.Sprintf("%.2f", times["packet"]*1e3),
+			fmt.Sprintf("%.2f", times["analytic"]*1e3),
+			gap(times["packet"]), gap(times["analytic"]),
 		})
 	}
 	return t, nil

@@ -27,7 +27,7 @@ func Fig17(scale Scale) (Table, error) {
 			plan := moe.Table1Plans()[m.Name]
 			plan.MicroBatch = mbs
 			c := buildCluster(topo.FabricFatTree, plan.GPUs()/8, 400*topo.Gbps, plan)
-			e, err := trainsim.New(m, plan, c, trainsim.Options{GateSeed: 2})
+			e, err := newEngine(m, plan, c, trainsim.Options{GateSeed: 2})
 			if err != nil {
 				return t, err
 			}

@@ -11,10 +11,45 @@ import (
 	"strings"
 
 	"mixnet/internal/moe"
+	"mixnet/internal/netsim"
 	"mixnet/internal/parallel"
 	"mixnet/internal/topo"
 	"mixnet/internal/trainsim"
 )
+
+// defaultBackend names the netsim backend every experiment's training
+// engines simulate on ("" = fluid). It is set once by SetDefaultBackend
+// before a run — not per experiment — so parallel-runner determinism is
+// unaffected.
+var defaultBackend string
+
+// SetDefaultBackend selects the simulation backend used by all experiments
+// whose options don't name one explicitly. Call it before Run/RunIDs, not
+// concurrently with them.
+func SetDefaultBackend(name string) error {
+	if _, err := netsim.New(name); err != nil {
+		return err
+	}
+	defaultBackend = name
+	return nil
+}
+
+// DefaultBackend returns the backend name experiments run on.
+func DefaultBackend() string {
+	if defaultBackend == "" {
+		return netsim.DefaultName
+	}
+	return defaultBackend
+}
+
+// newEngine builds a training engine, applying the package default backend
+// when opts doesn't name one.
+func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.Options) (*trainsim.Engine, error) {
+	if opts.Backend == "" {
+		opts.Backend = defaultBackend
+	}
+	return trainsim.New(m, plan, c, opts)
+}
 
 // Scale selects experiment sizing: Quick shrinks cluster sizes and
 // iteration counts for CI; Full reproduces the paper's dimensions.
@@ -128,7 +163,7 @@ func planFor(m moe.Model, scale Scale, targetGPUs int) moe.TrainPlan {
 
 // meanIterTime builds an engine and returns the mean iteration time.
 func meanIterTime(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.Options, iters int) (float64, error) {
-	e, err := trainsim.New(m, plan, c, opts)
+	e, err := newEngine(m, plan, c, opts)
 	if err != nil {
 		return 0, err
 	}

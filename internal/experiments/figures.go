@@ -48,7 +48,7 @@ func Fig3(scale Scale) (Table, error) {
 		plan := moe.Table1Plans()[moe.Mixtral8x7B.Name]
 		plan.MicroBatch = mbs
 		c := buildCluster(topo.FabricFatTree, plan.GPUs()/8, 400*topo.Gbps, plan)
-		e, err := trainsim.New(moe.Mixtral8x7B, plan, c, trainsim.Options{GateSeed: 1})
+		e, err := newEngine(moe.Mixtral8x7B, plan, c, trainsim.Options{GateSeed: 1})
 		if err != nil {
 			return t, err
 		}
@@ -254,7 +254,7 @@ func Fig14(scale Scale) (Table, error) {
 		servers := plan.GPUs() / 8
 		mk := func() (*trainsim.Engine, error) {
 			c := buildCluster(topo.FabricMixNet, servers, 400*topo.Gbps, plan)
-			return trainsim.New(m, plan, c, mixnetOpts(19))
+			return newEngine(m, plan, c, mixnetOpts(19))
 		}
 		scenarios := []struct {
 			name   string

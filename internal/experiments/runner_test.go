@@ -111,4 +111,3 @@ func TestRunIDsUnknownID(t *testing.T) {
 		t.Error("unknown id did not error")
 	}
 }
-

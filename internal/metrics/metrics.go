@@ -254,6 +254,16 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom overwrites m with src's contents. The matrices must have equal
+// dimensions; it is the allocation-free alternative to Clone for callers
+// holding a persistent destination buffer.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("metrics: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
 // Scale multiplies every element by f, in place, and returns m.
 func (m *Matrix) Scale(f float64) *Matrix {
 	for i := range m.Data {
@@ -294,12 +304,22 @@ func (m *Matrix) ColSums() []float64 {
 // Transpose returns a new transposed matrix.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
+	m.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes m's transpose into dst, which must be Cols×Rows and
+// not alias m. It is the allocation-free alternative to Transpose for
+// callers holding a reusable scratch matrix.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("metrics: TransposeInto %dx%d into %dx%d", m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
-			out.Set(j, i, m.At(i, j))
+			dst.Set(j, i, m.At(i, j))
 		}
 	}
-	return out
 }
 
 // Sparsity returns the fraction of entries whose value is below frac times

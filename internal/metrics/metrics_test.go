@@ -264,3 +264,48 @@ func TestMatrixScale(t *testing.T) {
 		t.Errorf("Scale wrong: %v", m.Data)
 	}
 }
+
+func TestMatrixCopyFrom(t *testing.T) {
+	src := NewMatrix(2, 3)
+	for i := range src.Data {
+		src.Data[i] = float64(i + 1)
+	}
+	dst := NewMatrix(2, 3)
+	dst.CopyFrom(src)
+	for i := range src.Data {
+		if dst.Data[i] != src.Data[i] {
+			t.Fatalf("CopyFrom mismatch at %d", i)
+		}
+	}
+	src.Data[0] = 99
+	if dst.Data[0] == 99 {
+		t.Error("CopyFrom aliased the source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	dst.CopyFrom(NewMatrix(3, 2))
+}
+
+func TestMatrixTransposeInto(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	dst := NewMatrix(3, 2)
+	m.TransposeInto(dst)
+	want := m.Transpose()
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("TransposeInto mismatch at %d: %v vs %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	m.TransposeInto(NewMatrix(2, 3))
+}

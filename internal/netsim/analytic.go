@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mixnet/internal/topo"
+)
+
+// Analytic is the alpha-beta/bottleneck-counting backend: no event loop and
+// no max-min fixed-point iteration. A phase's completion time is the larger
+// of two classical lower bounds:
+//
+//   - the bandwidth bound: for every link, the total bytes crossing it
+//     divided by its capacity (the busiest link paces the phase);
+//   - the serialization bound: for every flow, start offset plus payload
+//     over its path's bottleneck capacity plus propagation delay (the
+//     alpha-beta term for the longest individual transfer).
+//
+// It is exact for a single saturated bottleneck and a slight underestimate
+// when max-min sharing leaves capacity stranded, which the cross-validation
+// suite bounds. One pass over the flows against a dense epoch-stamped link
+// arena makes it allocation-free in steady state and fast enough for
+// 32k-GPU-scale sweeps.
+type Analytic struct {
+	epoch   uint32
+	stamp   []uint32
+	load    []float64 // bytes routed over the link this phase
+	touched []topo.LinkID
+}
+
+// NewAnalytic returns a reusable analytic backend.
+func NewAnalytic() *Analytic { return &Analytic{} }
+
+// Name implements Backend.
+func (*Analytic) Name() string { return "analytic" }
+
+// reset starts a new arena epoch sized for nLinks links, allocating only
+// when the graph outgrew the arena.
+func (a *Analytic) reset(nLinks int) {
+	if len(a.stamp) < nLinks {
+		a.stamp = make([]uint32, nLinks)
+		a.load = make([]float64, nLinks)
+	}
+	a.epoch++
+	if a.epoch == 0 { // wrapped: stamps from the previous cycle are stale
+		clear(a.stamp)
+		a.epoch = 1
+	}
+	a.touched = a.touched[:0]
+}
+
+// Makespan implements Backend.
+func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
+	var total float64
+	for _, fs := range phases {
+		if len(fs) == 0 {
+			continue
+		}
+		a.reset(len(g.Links))
+		epoch := a.epoch
+		var phase float64
+		for _, f := range fs {
+			if f.Bytes < 0 {
+				return 0, fmt.Errorf("netsim: flow %d negative bytes", f.ID)
+			}
+			bottleneck, latency := 0.0, 0.0
+			for _, lid := range f.Path {
+				l := g.Link(lid)
+				if !l.Up {
+					return 0, fmt.Errorf("netsim: flow %d uses down link %d", f.ID, lid)
+				}
+				cap := l.Bps / 8
+				if bottleneck == 0 || cap < bottleneck {
+					bottleneck = cap
+				}
+				latency += l.Latency
+				if a.stamp[lid] != epoch {
+					a.stamp[lid] = epoch
+					a.load[lid] = 0
+					a.touched = append(a.touched, lid)
+				}
+				a.load[lid] += f.Bytes
+			}
+			// Serialization bound for this flow.
+			t := f.Start + latency
+			if bottleneck > 0 {
+				t += f.Bytes / bottleneck
+			}
+			f.Finish = t
+			if t > phase {
+				phase = t
+			}
+		}
+		// Bandwidth bound over every touched link.
+		for _, lid := range a.touched {
+			if t := a.load[lid] / (g.Links[lid].Bps / 8); t > phase {
+				phase = t
+			}
+		}
+		total += phase
+	}
+	return total, nil
+}

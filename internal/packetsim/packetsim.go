@@ -64,25 +64,55 @@ type sim struct {
 	total int64
 }
 
+// Sim is a reusable packet-level engine: it keeps the event queue's backing
+// storage and the per-link busy array alive across Simulate calls, so
+// repeated invocations over the same graph (e.g. the netsim packet backend
+// running one collective phase after another) skip the per-call setup
+// allocations instead of rebuilding them from scratch. A Sim must not be
+// used from multiple goroutines concurrently.
+type Sim struct {
+	es   *eventsim.Simulator
+	busy []eventsim.Time
+}
+
+// NewSim returns an empty reusable packet simulator.
+func NewSim() *Sim { return &Sim{es: eventsim.New()} }
+
+// Simulate runs one packet-level simulation reusing the Sim's buffers.
+func (ps *Sim) Simulate(g *topo.Graph, flows []*Flow, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cap(ps.busy) < len(g.Links) {
+		ps.busy = make([]eventsim.Time, len(g.Links))
+	}
+	busy := ps.busy[:len(g.Links)]
+	clear(busy)
+	ps.es.Reset()
+	s := &sim{g: g, cfg: cfg, es: ps.es, busy: busy}
+	return s.run(flows)
+}
+
 // Simulate runs the packet-level simulation to completion and fills in
 // per-flow Finish times.
 func Simulate(g *topo.Graph, flows []*Flow, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	s := &sim{g: g, cfg: cfg, es: eventsim.New(), busy: make([]eventsim.Time, len(g.Links))}
+	return s.run(flows)
+}
 
+func (s *sim) run(flows []*Flow) (Result, error) {
 	for _, f := range flows {
 		if f.Bytes < 0 {
 			return Result{}, fmt.Errorf("packetsim: flow %d negative bytes", f.ID)
 		}
 		for _, lid := range f.Path {
-			if !g.Link(lid).Up {
+			if !s.g.Link(lid).Up {
 				return Result{}, fmt.Errorf("packetsim: flow %d uses down link %d", f.ID, lid)
 			}
 		}
-		f.totalPkts = (f.Bytes + cfg.MTU - 1) / cfg.MTU
+		f.totalPkts = (f.Bytes + s.cfg.MTU - 1) / s.cfg.MTU
 		f.nextSeq, f.delivered = 0, 0
 		f.Finish = 0
-		f.ackLat = eventsim.FromSeconds(topo.PathLatency(g, f.Path))
+		f.ackLat = eventsim.FromSeconds(topo.PathLatency(s.g, f.Path))
 		s.total += f.totalPkts
 	}
 	for _, f := range flows {

@@ -242,3 +242,42 @@ func TestPropertyNoSuperluminalFlows(t *testing.T) {
 		}
 	}
 }
+
+func TestReusableSimMatchesSimulate(t *testing.T) {
+	// A reused Sim must produce byte-identical results to fresh package-level
+	// Simulate calls, across repeated runs and graphs of different sizes.
+	g1, nodes1 := chain(8e9, 3)
+	g2, nodes2 := chain(4e9, 5)
+	s := NewSim()
+	for run := 0; run < 3; run++ {
+		for _, tc := range []struct {
+			g     *topo.Graph
+			nodes []topo.NodeID
+		}{{g1, nodes1}, {g2, nodes2}} {
+			mk := func() []*Flow {
+				return []*Flow{
+					{ID: 1, Path: route(t, tc.g, tc.nodes[0], tc.nodes[len(tc.nodes)-1]), Bytes: 3 << 20},
+					{ID: 2, Path: route(t, tc.g, tc.nodes[1], tc.nodes[len(tc.nodes)-1]), Bytes: 1 << 20},
+				}
+			}
+			fresh := mk()
+			want, err := Simulate(tc.g, fresh, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := mk()
+			got, err := s.Simulate(tc.g, reused, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Makespan != want.Makespan || got.Packets != want.Packets {
+				t.Errorf("run %d: reused Sim %+v, fresh %+v", run, got, want)
+			}
+			for i := range fresh {
+				if reused[i].Finish != fresh[i].Finish {
+					t.Errorf("run %d flow %d: Finish %v vs %v", run, i, reused[i].Finish, fresh[i].Finish)
+				}
+			}
+		}
+	}
+}

@@ -157,8 +157,17 @@ func ProjectSimplex(v []float64) []float64 {
 
 // Predict implements Predictor: y = P x.
 func (e *Estimator) Predict(x []float64) []float64 {
+	return e.PredictInto(x, make([]float64, e.N))
+}
+
+// PredictInto computes y = P x into out, which must have length N. It is
+// the allocation-free variant of Predict for callers holding a reusable
+// scratch slice; out is returned for convenience.
+func (e *Estimator) PredictInto(x, out []float64) []float64 {
 	n := e.N
-	out := make([]float64, n)
+	if len(out) != n {
+		panic(fmt.Sprintf("predict: PredictInto scratch length %d, want %d", len(out), n))
+	}
 	for r := 0; r < n; r++ {
 		var s float64
 		row := e.P.Data[r*n : (r+1)*n]

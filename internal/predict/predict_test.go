@@ -218,3 +218,27 @@ func TestCopilotBeatsBaselinesOnGateTraces(t *testing.T) {
 		t.Errorf("Copilot top-2 accuracy %.3f too low for predictable traces", accEst)
 	}
 }
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	e := NewEstimator(4, 8)
+	x := []float64{0.4, 0.3, 0.2, 0.1}
+	e.Observe(x, []float64{0.1, 0.2, 0.3, 0.4})
+	e.Fit()
+	want := e.Predict(x)
+	scratch := make([]float64, 4)
+	got := e.PredictInto(x, scratch)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PredictInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() { e.PredictInto(x, scratch) }); allocs != 0 {
+		t.Errorf("PredictInto allocates %v/op, want 0", allocs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong scratch length did not panic")
+		}
+	}()
+	e.PredictInto(x, make([]float64, 3))
+}

@@ -20,6 +20,7 @@ import (
 	"mixnet/internal/dag"
 	"mixnet/internal/metrics"
 	"mixnet/internal/moe"
+	"mixnet/internal/netsim"
 	"mixnet/internal/ocs"
 	"mixnet/internal/parallel"
 	"mixnet/internal/predict"
@@ -57,6 +58,10 @@ func (m FirstA2AMode) String() string {
 // Options configures an Engine.
 type Options struct {
 	FirstA2A FirstA2AMode
+	// Backend names the netsim substrate every collective is simulated on:
+	// "fluid" (default), "packet" or "analytic". Packet fidelity suits
+	// small configurations; analytic suits huge sweeps.
+	Backend string
 	// Device models OCS reconfiguration latency; nil means the fabric has
 	// no runtime reconfiguration (electrical fabrics, TopoOpt).
 	Device *ocs.Device
@@ -96,9 +101,16 @@ type Engine struct {
 	controller *ocs.Controller // region of the representative group; nil if static fabric
 	region     int
 	estimators []*predict.Estimator // per layer boundary, Copilot mode
-	prevLayer0 *metrics.Matrix      // previous iteration's layer-0 demand
+	prevLayer0 *metrics.Matrix      // previous iteration's layer-0 demand (persistent buffer)
+	havePrev   bool                 // prevLayer0 holds a real observation
 	iter       int
 	reconfigs  int
+
+	// reusable per-layer scratch: the backward all-to-all's transposed
+	// demand and the Copilot-predicted demand matrix plus its load vector.
+	transposeBuf *metrics.Matrix
+	predictBuf   *metrics.Matrix
+	predictLoads []float64
 
 	// failure state (§5.4)
 	gpuOverride map[topo.NodeID]topo.NodeID
@@ -172,10 +184,14 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if opts.Source != nil {
 		source = opts.Source
 	}
+	backend, err := netsim.New(opts.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("trainsim: %w", err)
+	}
 	e := &Engine{
 		Model: m, Plan: plan, Cluster: cluster, Place: place,
 		Gate: source, Opts: opts,
-		ctx: collective.NewCtx(cluster),
+		ctx: collective.NewCtxWithBackend(cluster, backend),
 	}
 	e.region = -1
 	if len(cluster.Regions) > 0 {
@@ -301,13 +317,20 @@ func (e *Engine) planAndApply(demand *metrics.Matrix, servers []int) (float64, e
 }
 
 // predictedDemand builds the Copilot demand matrix for layer l from the
-// previous layer's loads.
+// previous layer's loads. The returned matrix is engine-owned scratch,
+// overwritten on every call; callers must not retain it across layers.
 func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
 	est := e.estimators[l]
-	loads := est.Predict(prevLoads)
+	if len(e.predictLoads) != est.N {
+		e.predictLoads = make([]float64, est.N)
+	}
+	loads := est.PredictInto(prevLoads, e.predictLoads)
 	p := e.Plan
 	per := e.Model.ExpertsPerRank(p)
-	d := metrics.NewMatrix(p.EP, p.EP)
+	if e.predictBuf == nil {
+		e.predictBuf = metrics.NewMatrix(p.EP, p.EP)
+	}
+	d := e.predictBuf
 	// Uniform sources, predicted destination shares (relative values are
 	// all Algorithm 1 needs).
 	for j := 0; j < p.EP; j++ {
@@ -318,6 +341,8 @@ func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
 		for i := 0; i < p.EP; i++ {
 			if i != j {
 				d.Set(i, j, share)
+			} else {
+				d.Set(i, j, 0)
 			}
 		}
 	}
@@ -365,7 +390,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 			case FirstA2ACopilot:
 				var planD *metrics.Matrix
 				if l == 0 {
-					if e.prevLayer0 != nil {
+					if e.havePrev {
 						planD = e.prevLayer0
 					} else {
 						planD = d // first-ever iteration: oracle warm start
@@ -406,7 +431,11 @@ func (e *Engine) RunIteration() (IterStats, error) {
 				bwdPenalty = 2 * (delay - bwdWin)
 			}
 		}
-		a2a2, err := e.simulateA2A(d.Transpose())
+		if e.transposeBuf == nil || e.transposeBuf.Rows != d.Cols || e.transposeBuf.Cols != d.Rows {
+			e.transposeBuf = metrics.NewMatrix(d.Cols, d.Rows)
+		}
+		d.TransposeInto(e.transposeBuf)
+		a2a2, err := e.simulateA2A(e.transposeBuf)
 		if err != nil {
 			return stats, err
 		}
@@ -433,7 +462,12 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		}
 	}
 	if e.controller != nil {
-		e.prevLayer0 = it.Layers[0].RankMatrix.Clone()
+		d0 := it.Layers[0].RankMatrix
+		if e.prevLayer0 == nil || e.prevLayer0.Rows != d0.Rows || e.prevLayer0.Cols != d0.Cols {
+			e.prevLayer0 = metrics.NewMatrix(d0.Rows, d0.Cols)
+		}
+		e.prevLayer0.CopyFrom(d0)
+		e.havePrev = true
 	}
 
 	// Pipeline activation transfer per slot (analytic, EPS path).

@@ -313,3 +313,63 @@ func TestEngineRejectsShortSource(t *testing.T) {
 		t.Error("nil iteration accepted")
 	}
 }
+
+func TestEngineBackendsAgree(t *testing.T) {
+	// The same tiny MixNet run at all three fidelities: packet must land
+	// within 15% of fluid, and the analytic lower bound must not exceed it.
+	times := map[string]float64{}
+	for _, backend := range []string{"fluid", "packet", "analytic"} {
+		e := newEngine(t, topo.FabricMixNet, Options{
+			GateSeed: 8, FirstA2A: FirstA2ABlock, Device: ocs.NewFixedDevice(25e-3),
+			Backend: backend,
+		})
+		stats, err := e.Run(2)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		times[backend] = MeanIterTime(stats)
+		if times[backend] <= 0 {
+			t.Fatalf("%s: non-positive iteration time", backend)
+		}
+	}
+	fluid := times["fluid"]
+	if gap := (times["packet"] - fluid) / fluid; gap > 0.15 || gap < -0.15 {
+		t.Errorf("packet %.4fs vs fluid %.4fs: gap %.1f%% exceeds 15%%",
+			times["packet"], fluid, gap*100)
+	}
+	if times["analytic"] > fluid*(1+1e-9) {
+		t.Errorf("analytic %.4fs above fluid %.4fs", times["analytic"], fluid)
+	}
+}
+
+func TestEngineUnknownBackendRejected(t *testing.T) {
+	spec := tinySpec(4)
+	c := topo.BuildFatTree(spec)
+	if _, err := New(tinyModel, tinyPlan, c, Options{Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestEngineCopilotScratchReuse(t *testing.T) {
+	// Copilot mode must keep working across iterations with the engine-owned
+	// predicted-demand scratch (results stay deterministic per seed).
+	a := newEngine(t, topo.FabricMixNet, Options{
+		GateSeed: 12, FirstA2A: FirstA2ACopilot, Device: ocs.NewFixedDevice(5e-3),
+	})
+	b := newEngine(t, topo.FabricMixNet, Options{
+		GateSeed: 12, FirstA2A: FirstA2ACopilot, Device: ocs.NewFixedDevice(5e-3),
+	})
+	sa, err := a.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i].Time != sb[i].Time {
+			t.Errorf("iter %d: scratch reuse broke determinism: %v vs %v", i, sa[i].Time, sb[i].Time)
+		}
+	}
+}

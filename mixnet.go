@@ -26,6 +26,7 @@ import (
 	"mixnet/internal/cost"
 	"mixnet/internal/experiments"
 	"mixnet/internal/moe"
+	"mixnet/internal/netsim"
 	"mixnet/internal/ocs"
 	"mixnet/internal/parallel"
 	"mixnet/internal/topo"
@@ -53,6 +54,11 @@ type SimConfig struct {
 	Model string
 	// Fabric selects the interconnect (default FatTree).
 	Fabric Fabric
+	// Backend selects the network-simulation substrate: "fluid" (default)
+	// for max-min flow-level simulation, "packet" for htsim-style
+	// packet-level fidelity (small configurations), or "analytic" for the
+	// iteration-free alpha-beta bound (huge sweeps). See SimBackends.
+	Backend string
 	// LinkGbps is the NIC line rate in Gbit/s (default 400).
 	LinkGbps float64
 	// DP scales the cluster by replicating the model (default 1).
@@ -135,7 +141,7 @@ func Simulate(cfg SimConfig) (Result, error) {
 		return Result{}, fmt.Errorf("mixnet: fabric %v not supported by Simulate", cfg.Fabric)
 	}
 
-	opts := trainsim.Options{GateSeed: cfg.Seed}
+	opts := trainsim.Options{GateSeed: cfg.Seed, Backend: cfg.Backend}
 	if cfg.Fabric == MixNet {
 		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
 		switch cfg.FirstA2A {
@@ -173,6 +179,10 @@ type CostBreakdown = cost.Breakdown
 func NetworkCost(fabric Fabric, servers, gbps int) (CostBreakdown, error) {
 	return cost.FabricCost(fabric, servers, gbps, cost.LinkFiber)
 }
+
+// SimBackends lists the available network-simulation backends in fidelity
+// order: "fluid", "packet", "analytic".
+func SimBackends() []string { return netsim.Names() }
 
 // ListModels returns the model registry names in sorted order.
 func ListModels() []string {

@@ -122,3 +122,40 @@ func TestExperimentIDsComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestSimBackends(t *testing.T) {
+	got := SimBackends()
+	if len(got) != 3 || got[0] != "fluid" || got[1] != "packet" || got[2] != "analytic" {
+		t.Errorf("SimBackends() = %v", got)
+	}
+}
+
+func TestSimulateAnalyticBackend(t *testing.T) {
+	cfg := SimConfig{Model: "Mixtral 8x7B", Fabric: MixNet, LinkGbps: 100, Iterations: 2, Seed: 3}
+	fluid, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = "analytic"
+	ana, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ana.MeanIterTime <= 0 {
+		t.Fatal("analytic backend produced zero iteration time")
+	}
+	// The analytic substrate lower-bounds network time, so the full
+	// iteration (dominated by compute) stays close to but not above fluid.
+	if ana.MeanIterTime > fluid.MeanIterTime*(1+1e-9) {
+		t.Errorf("analytic %.4fs above fluid %.4fs", ana.MeanIterTime, fluid.MeanIterTime)
+	}
+	if ana.MeanIterTime < fluid.MeanIterTime*0.5 {
+		t.Errorf("analytic %.4fs implausibly far below fluid %.4fs", ana.MeanIterTime, fluid.MeanIterTime)
+	}
+}
+
+func TestSimulateUnknownBackend(t *testing.T) {
+	if _, err := Simulate(SimConfig{Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
