@@ -28,6 +28,7 @@ import (
 type benchReport struct {
 	Scale        string            `json:"scale"`
 	Backend      string            `json:"backend"`
+	CC           string            `json:"cc,omitempty"`
 	Workers      int               `json:"workers"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Experiments  []benchExperiment `json:"experiments"`
@@ -46,6 +47,7 @@ func main() {
 	var (
 		full     = flag.Bool("full", false, "paper-scale dimensions (slow)")
 		backend  = flag.String("backend", "", "network simulation backend: fluid (default) | packet | analytic")
+		cc       = flag.String("cc", "", "packet-backend congestion control: fixed (default) | dcqcn | swift")
 		only     = flag.String("only", "", "run a single experiment id")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		par      = flag.Int("par", 0, "worker-pool width (0 = GOMAXPROCS)")
@@ -68,6 +70,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := experiments.SetDefaultCC(*cc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	ids := mixnet.ExperimentIDs()
 	if *only != "" {
 		ids = []string{*only}
@@ -75,6 +81,9 @@ func main() {
 
 	workers := experiments.Workers(*par, len(ids))
 	report := benchReport{Scale: scaleName, Backend: experiments.DefaultBackend(), Workers: workers}
+	if *cc != "" {
+		report.CC = experiments.DefaultCC()
+	}
 	failed := false
 	start := time.Now()
 	// Stream finished tables in input order as the pool completes them.
@@ -98,11 +107,14 @@ func main() {
 	if *jsonOut || *jsonPath != "" {
 		path := *jsonPath
 		if path == "" {
+			suffix := ""
 			if b := experiments.DefaultBackend(); b != "fluid" {
-				path = fmt.Sprintf("BENCH_%s_%s.json", scaleName, b)
-			} else {
-				path = fmt.Sprintf("BENCH_%s.json", scaleName)
+				suffix = "_" + b
 			}
+			if c := experiments.DefaultCC(); c != "fixed" {
+				suffix += "_" + c
+			}
+			path = fmt.Sprintf("BENCH_%s%s.json", scaleName, suffix)
 		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {

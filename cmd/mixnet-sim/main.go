@@ -20,6 +20,7 @@ func main() {
 		model   = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
 		fabric  = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
 		backend = flag.String("backend", "fluid", "network simulation backend: fluid | packet | analytic")
+		cc      = flag.String("cc", "", "packet-backend congestion control: fixed | dcqcn | swift")
 		gbps    = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
 		dp      = flag.Int("dp", 1, "data-parallel replicas")
 		iters   = flag.Int("iters", 3, "iterations to simulate")
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(2)
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
-		Model: *model, Fabric: kind, Backend: *backend, LinkGbps: *gbps, DP: *dp,
+		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})
@@ -57,8 +58,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s backend)\n",
-		*model, kind, res.GPUs, res.Servers, *gbps, *backend)
+	backendDesc := *backend
+	if *cc != "" {
+		backendDesc += " backend, " + *cc + " cc"
+	} else {
+		backendDesc += " backend"
+	}
+	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s)\n",
+		*model, kind, res.GPUs, res.Servers, *gbps, backendDesc)
 	fmt.Printf("%-5s %-10s %-10s %-10s %-10s %-10s %s\n",
 		"iter", "time(s)", "a2a(s)", "comp(s)", "blocked(s)", "dp(s)", "reconfigs")
 	for _, s := range res.Stats {

@@ -45,6 +45,7 @@ func Registry() []Runner {
 		{"abl_regional", AblationRegionalVsGlobal},
 		{"abl_numa", func(Scale) (Table, error) { return AblationNUMAPermute() }},
 		{"abl_fluid", func(Scale) (Table, error) { return AblationFluidVsPacket() }},
+		{"abl_cc", func(Scale) (Table, error) { return AblationCongestionControl() }},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"mixnet/internal/moe"
 	"mixnet/internal/netsim"
+	"mixnet/internal/packetsim"
 	"mixnet/internal/parallel"
 	"mixnet/internal/topo"
 	"mixnet/internal/trainsim"
@@ -42,11 +43,41 @@ func DefaultBackend() string {
 	return defaultBackend
 }
 
+// defaultCC names the packet-backend congestion controller applied to every
+// experiment engine that doesn't name one ("" = fixed). Like
+// defaultBackend it is set once before a run.
+var defaultCC string
+
+// SetDefaultCC selects the congestion controller used by all experiments
+// whose options don't name one explicitly. It validates the controller
+// against the current default backend (adaptive controllers require the
+// packet backend), so call it after SetDefaultBackend and not concurrently
+// with Run/RunIDs.
+func SetDefaultCC(name string) error {
+	if _, err := netsim.NewWithCC(defaultBackend, name); err != nil {
+		return err
+	}
+	defaultCC = name
+	return nil
+}
+
+// DefaultCC returns the congestion controller name experiment engines pace
+// packets with.
+func DefaultCC() string {
+	if defaultCC == "" {
+		return packetsim.CCFixed
+	}
+	return defaultCC
+}
+
 // newEngine builds a training engine, applying the package default backend
-// when opts doesn't name one.
+// and congestion controller when opts doesn't name them.
 func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.Options) (*trainsim.Engine, error) {
 	if opts.Backend == "" {
 		opts.Backend = defaultBackend
+	}
+	if opts.CC == "" {
+		opts.CC = defaultCC
 	}
 	return trainsim.New(m, plan, c, opts)
 }

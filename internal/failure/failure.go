@@ -83,9 +83,10 @@ func FailGPU(e *trainsim.Engine, ep, tp, backupServer int) (Restore, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Restoring the override also releases the TP-over-EPS charge the
+	// engine tracked against it, so composed scenarios unwind independently.
 	return func() {
 		e.OverrideGPU(orig, orig)
-		e.SetTPOverEPS(0)
 	}, nil
 }
 
@@ -101,7 +102,6 @@ func FailServer(e *trainsim.Engine, server, backupServer int) (Restore, error) {
 		for _, g := range origs {
 			e.OverrideGPU(g, g)
 		}
-		e.SetTPOverEPS(0)
 		if ct := e.Controller(); ct != nil {
 			ct.SetServerFailed(server, false)
 		}

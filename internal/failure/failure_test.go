@@ -196,6 +196,92 @@ func TestFailServerExcludedFromPlanning(t *testing.T) {
 	}
 }
 
+// TestFailGPURestoreReleasesPenalty is the regression test for the
+// never-decremented TP-over-EPS charge: restoring a failed GPU must lift
+// its penalty instead of leaving the engine slow forever.
+func TestFailGPURestoreReleasesPenalty(t *testing.T) {
+	e, err := mkTPEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TPOverEPS() != 0 {
+		t.Fatalf("fresh engine TPOverEPS = %d", e.TPOverEPS())
+	}
+	restore, err := FailGPU(e, 0, 1, 3) // off-host backup: breaks TP locality
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TPOverEPS() != 1 {
+		t.Fatalf("after FailGPU TPOverEPS = %d, want 1", e.TPOverEPS())
+	}
+	restore()
+	if e.TPOverEPS() != 0 {
+		t.Errorf("after restore TPOverEPS = %d, want 0 (penalty leaked)", e.TPOverEPS())
+	}
+}
+
+// TestComposedFailuresUnwindIndependently: restoring one failure must not
+// clear the penalties of another still-active failure (the old blanket
+// SetTPOverEPS(0) reset did exactly that).
+func TestComposedFailuresUnwindIndependently(t *testing.T) {
+	e, err := mkTPEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := FailGPU(e, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FailGPU(e, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TPOverEPS() != 2 {
+		t.Fatalf("two failed GPUs: TPOverEPS = %d, want 2", e.TPOverEPS())
+	}
+	r1()
+	if e.TPOverEPS() != 1 {
+		t.Fatalf("after first restore TPOverEPS = %d, want 1 (other failure's penalty lost)", e.TPOverEPS())
+	}
+	r2()
+	if e.TPOverEPS() != 0 {
+		t.Errorf("after both restores TPOverEPS = %d, want 0", e.TPOverEPS())
+	}
+}
+
+// TestFailServerRestoreReleasesPenalties mirrors the GPU case for whole
+// servers, and checks SetTPOverEPS's manual base stays independent.
+func TestFailServerRestoreReleasesPenalties(t *testing.T) {
+	e, err := mkTPEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTPOverEPS(1) // manual base, e.g. an operator-scripted scenario
+	restore, err := FailServer(e, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 GPUs per server / TP=2 -> 2 spanned TP groups, plus the base.
+	if e.TPOverEPS() != 3 {
+		t.Fatalf("after FailServer TPOverEPS = %d, want 3", e.TPOverEPS())
+	}
+	restore()
+	if e.TPOverEPS() != 1 {
+		t.Errorf("after restore TPOverEPS = %d, want manual base 1", e.TPOverEPS())
+	}
+}
+
+// TestFailServerBackupTooSmall: a backup with fewer GPUs must error instead
+// of silently doubling ranks up on its GPUs.
+func TestFailServerBackupTooSmall(t *testing.T) {
+	e := mixnetEngine(t)
+	// Shrink the backup server's GPU list in place.
+	e.Cluster.Servers[3].GPUs = e.Cluster.Servers[3].GPUs[:2]
+	if _, err := e.FailServer(0, 3); err == nil {
+		t.Error("backup with fewer GPUs accepted")
+	}
+}
+
 func TestFailServerValidation(t *testing.T) {
 	e := mixnetEngine(t)
 	if _, err := FailServer(e, 0, 0); err == nil {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 
 	"mixnet/internal/topo"
 )
@@ -63,14 +64,21 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 			if f.Bytes < 0 {
 				return 0, fmt.Errorf("netsim: flow %d negative bytes", f.ID)
 			}
-			bottleneck, latency := 0.0, 0.0
+			// bottleneck starts at +Inf as the "no links yet" sentinel, so a
+			// genuine (erroneous) zero-capacity link can't be confused with
+			// an empty path: zero capacity is rejected like a down link
+			// instead of silently yielding +Inf/NaN makespans.
+			bottleneck, latency := math.Inf(1), 0.0
 			for _, lid := range f.Path {
 				l := g.Link(lid)
 				if !l.Up {
 					return 0, fmt.Errorf("netsim: flow %d uses down link %d", f.ID, lid)
 				}
+				if l.Bps <= 0 {
+					return 0, fmt.Errorf("netsim: flow %d uses zero-capacity link %d", f.ID, lid)
+				}
 				cap := l.Bps / 8
-				if bottleneck == 0 || cap < bottleneck {
+				if cap < bottleneck {
 					bottleneck = cap
 				}
 				latency += l.Latency
@@ -81,11 +89,8 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 				}
 				a.load[lid] += f.Bytes
 			}
-			// Serialization bound for this flow.
-			t := f.Start + latency
-			if bottleneck > 0 {
-				t += f.Bytes / bottleneck
-			}
+			// Serialization bound for this flow (empty path: Bytes/Inf = 0).
+			t := f.Start + latency + f.Bytes/bottleneck
 			f.Finish = t
 			if t > phase {
 				phase = t

@@ -21,6 +21,7 @@ package netsim
 import (
 	"fmt"
 
+	"mixnet/internal/packetsim"
 	"mixnet/internal/topo"
 )
 
@@ -63,11 +64,32 @@ func Names() []string { return []string{"fluid", "packet", "analytic"} }
 // New resolves a backend by registry name. The empty string selects the
 // fluid default.
 func New(name string) (Backend, error) {
+	return NewWithCC(name, "")
+}
+
+// NewWithCC resolves a backend by registry name with a packet-backend
+// congestion controller (see packetsim.CCNames). Only the packet backend
+// models congestion control, so an adaptive cc combined with any other
+// backend is a configuration error rather than a silent no-op; "" and
+// "fixed" are accepted everywhere.
+func NewWithCC(name, cc string) (Backend, error) {
+	if cc != "" {
+		if err := packetsim.ValidCC(cc); err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
+		if cc != packetsim.CCFixed && name != "packet" {
+			b := name
+			if b == "" {
+				b = DefaultName
+			}
+			return nil, fmt.Errorf("netsim: congestion controller %q requires the packet backend (backend is %q)", cc, b)
+		}
+	}
 	switch name {
 	case "", "fluid":
 		return NewFluid(), nil
 	case "packet":
-		return NewPacket(PacketConfig{}), nil
+		return NewPacket(PacketConfig{CC: cc}), nil
 	case "analytic":
 		return NewAnalytic(), nil
 	}

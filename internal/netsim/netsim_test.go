@@ -125,6 +125,100 @@ func TestBackendsMultiPhaseAndStarts(t *testing.T) {
 	}
 }
 
+func TestNewWithCC(t *testing.T) {
+	// Adaptive controllers resolve only with the packet backend.
+	for _, cc := range []string{"dcqcn", "swift"} {
+		b, err := NewWithCC("packet", cc)
+		if err != nil {
+			t.Fatalf("packet/%s: %v", cc, err)
+		}
+		if b.Name() != "packet" {
+			t.Errorf("packet/%s: backend %q", cc, b.Name())
+		}
+		for _, backend := range []string{"", "fluid", "analytic"} {
+			if _, err := NewWithCC(backend, cc); err == nil {
+				t.Errorf("%q/%s accepted: adaptive cc must require the packet backend", backend, cc)
+			}
+		}
+	}
+	// "fixed" and "" are harmless everywhere.
+	for _, backend := range []string{"", "fluid", "packet", "analytic"} {
+		for _, cc := range []string{"", "fixed"} {
+			if _, err := NewWithCC(backend, cc); err != nil {
+				t.Errorf("%q/%q: %v", backend, cc, err)
+			}
+		}
+	}
+	if _, err := NewWithCC("packet", "bbr"); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}
+
+// TestPacketCCBackendsCrossValidate runs the cross-validation suite's
+// uniform all-to-all through the packet backend under each controller: the
+// adaptive controllers must stay within the same 25% envelope of fluid.
+func TestPacketCCBackendsCrossValidate(t *testing.T) {
+	c := topo.BuildFatTree(topo.DefaultSpec(4, 100*topo.Gbps))
+	phases := a2aPhases(t, c, 8<<20)
+	fluid, err := NewFluid().Makespan(c.G, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []string{"fixed", "dcqcn", "swift"} {
+		b, err := NewWithCC("packet", cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := b.Makespan(c.G, phases)
+		if err != nil {
+			t.Fatalf("%s: %v", cc, err)
+		}
+		if gap := math.Abs(ms-fluid) / fluid; gap > 0.25 {
+			t.Errorf("packet/%s %.4fs vs fluid %.4fs (gap %.0f%% > 25%%)", cc, ms, fluid, gap*100)
+		}
+	}
+}
+
+// TestAnalyticZeroCapacityErrors is the regression test for the silent
+// +Inf/NaN makespan: a zero-capacity link must error out like a down link.
+func TestAnalyticZeroCapacityErrors(t *testing.T) {
+	g := topo.NewGraph()
+	a := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+	b := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+	g.AddDuplex(a, b, 0, 1e-6) // zero Bps
+	r := topo.NewBFSRouter(g)
+	rt, err := r.Route(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := Phases{{{ID: 1, Path: rt, Bytes: 1 << 20}}}
+	ms, err := NewAnalytic().Makespan(g, phases)
+	if err == nil {
+		t.Fatalf("zero-capacity link accepted: makespan %v", ms)
+	}
+	// The packet backend rejects it too.
+	if _, err := NewPacket(PacketConfig{}).Makespan(g, phases); err == nil {
+		t.Error("packet backend accepted zero-capacity link")
+	}
+}
+
+// TestAnalyticEmptyPathFlow: an intra-node no-op flow (empty path) must not
+// trip the zero-capacity sentinel handling.
+func TestAnalyticEmptyPathFlow(t *testing.T) {
+	c := topo.BuildFatTree(topo.DefaultSpec(2, 100*topo.Gbps))
+	phases := Phases{{{ID: 1, Path: nil, Bytes: 1 << 20, Start: 1e-4}}}
+	ms, err := NewAnalytic().Makespan(c.G, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ms) || math.IsInf(ms, 0) {
+		t.Fatalf("empty-path flow produced %v", ms)
+	}
+	if ms != 1e-4 {
+		t.Errorf("empty-path flow makespan %v, want start offset 1e-4", ms)
+	}
+}
+
 func TestBackendsRejectDownLink(t *testing.T) {
 	c := topo.BuildFatTree(topo.DefaultSpec(2, 100*topo.Gbps))
 	phases := a2aPhases(t, c, 1<<20)

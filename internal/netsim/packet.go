@@ -15,6 +15,10 @@ type PacketConfig struct {
 	MTU int64
 	// Window is the packets in flight per flow (default: packetsim's 64).
 	Window int
+	// CC selects the congestion controller sources pace with: "fixed"
+	// (default, the deterministic constant window), "dcqcn" (ECN-marking)
+	// or "swift" (delay-based). See packetsim.CCNames.
+	CC string
 }
 
 // Packet is the event-driven packet-level backend (internal/packetsim,
@@ -34,7 +38,7 @@ func NewPacket(cfg PacketConfig) *Packet {
 		cfg.MTU = 16384
 	}
 	return &Packet{
-		cfg: packetsim.Config{MTU: cfg.MTU, Window: cfg.Window},
+		cfg: packetsim.Config{MTU: cfg.MTU, Window: cfg.Window, CC: cfg.CC},
 		sim: packetsim.NewSim(),
 	}
 }

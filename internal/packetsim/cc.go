@@ -1,0 +1,175 @@
+package packetsim
+
+import "fmt"
+
+// Congestion-controller registry names.
+const (
+	// CCFixed is the deterministic baseline: a constant per-flow window of
+	// Config.Window packets, the simulator's historical pacing model.
+	CCFixed = "fixed"
+	// CCDCQCN is a DCQCN-style ECN-marking controller: links mark packets
+	// whose queueing delay exceeds a threshold, and the source applies a
+	// DCTCP/DCQCN-style multiplicative decrease driven by the EWMA of the
+	// marked fraction, at most once per window, with additive increase on
+	// clean acks.
+	CCDCQCN = "dcqcn"
+	// CCSwift is a Swift-style delay-based controller: each ack carries the
+	// measured end-to-end one-way delay, and the window multiplicatively
+	// decreases (at most once per window) in proportion to overshoot past a
+	// target delay derived from the flow's uncongested path delay, with
+	// additive increase below it.
+	CCSwift = "swift"
+)
+
+// CCNames lists the registered congestion controllers, baseline first.
+func CCNames() []string { return []string{CCFixed, CCDCQCN, CCSwift} }
+
+// CongestionControl paces one flow's packet releases. Per-flow state (the
+// congestion window and controller scalars) lives inside the Flow itself,
+// so implementations are stateless values shared by every flow of a run and
+// a reused Sim performs no per-flow heap allocation.
+type CongestionControl interface {
+	// Name returns the registry name.
+	Name() string
+	// Init returns a flow's initial congestion window in packets and may
+	// reset controller scalars on the flow.
+	Init(f *Flow) float64
+	// OnAck consumes the end-to-end acknowledgement of packet seq and
+	// returns the new window: ecnMarked reports whether any hop's output
+	// queue exceeded its marking threshold when the packet was enqueued;
+	// delay is the measured one-way packet delay including queueing
+	// (compare against f.baseDelay, the uncongested serialisation +
+	// propagation delay of the path).
+	OnAck(f *Flow, seq int64, ecnMarked bool, delay float64) float64
+}
+
+// NewCC resolves cfg.CC against the controller registry. The Config must
+// already have defaults applied (positive Window, MTU).
+func NewCC(cfg Config) (CongestionControl, error) {
+	w := float64(cfg.Window)
+	switch cfg.CC {
+	case "", CCFixed:
+		return fixedCC{w: w}, nil
+	case CCDCQCN:
+		return dcqcnCC{maxW: w}, nil
+	case CCSwift:
+		return swiftCC{maxW: w, target: cfg.SwiftTargetFactor}, nil
+	}
+	return nil, fmt.Errorf("packetsim: unknown congestion controller %q (have %v)", cfg.CC, CCNames())
+}
+
+// ValidCC reports whether name resolves to a registered controller ("" is
+// the fixed default). It lets upstream config layers fail fast without
+// building a Config.
+func ValidCC(name string) error {
+	_, err := NewCC(Config{Window: 1, CC: name})
+	return err
+}
+
+// fixedCC is the historical constant-window pacing: Window packets in
+// flight, one release per ack. It is the byte-identical baseline the
+// adaptive controllers are measured against.
+type fixedCC struct{ w float64 }
+
+func (fixedCC) Name() string                                { return CCFixed }
+func (c fixedCC) Init(*Flow) float64                        { return c.w }
+func (c fixedCC) OnAck(*Flow, int64, bool, float64) float64 { return c.w }
+
+// advanceWindow opens the next observation window at the flow's send
+// frontier: the window closes when a packet sent at or after the frontier
+// is acknowledged (seq >= ccWndSeq), i.e. one round-trip after it opened.
+// Gating multiplicative decreases on window closure yields
+// DCTCP/DCQCN/Swift's at-most-once-per-RTT reaction instead of collapsing
+// the congestion window on every congested ack.
+func advanceWindow(f *Flow) {
+	f.ccWndSeq = f.nextSeq
+	f.ccAcked, f.ccMarked = 0, 0
+}
+
+// dcqcnCC approximates DCQCN's ECN rate control at window granularity,
+// DCTCP-style: every ack contributes to the marked fraction of the current
+// observation window; when the window closes, alpha absorbs the fraction
+// via EWMA (gain 1/16) and a marked window multiplies the congestion
+// window by (1 - alpha/2). Clean acks grow the window by one packet per
+// RTT. The window is clamped to [1, Config.Window], so the baseline window
+// doubles as the line-rate cap.
+type dcqcnCC struct{ maxW float64 }
+
+// dcqcnGain is DCQCN's g parameter: the EWMA gain of the marked fraction.
+const dcqcnGain = 1.0 / 16
+
+func (dcqcnCC) Name() string { return CCDCQCN }
+
+func (c dcqcnCC) Init(f *Flow) float64 {
+	// DCQCN initialises alpha to 1: the first marked window halves, so deep
+	// startup queues drain in a few round-trips instead of waiting for the
+	// EWMA to warm up; clean windows then decay alpha toward 0.
+	f.ccAlpha = 1
+	advanceWindow(f)
+	return c.maxW
+}
+
+func (c dcqcnCC) OnAck(f *Flow, seq int64, ecnMarked bool, _ float64) float64 {
+	w := f.cwnd
+	f.ccAcked++
+	if ecnMarked {
+		f.ccMarked++
+	} else {
+		w += 1 / w // additive increase: ~1 packet per RTT
+	}
+	if seq >= f.ccWndSeq {
+		frac := float64(f.ccMarked) / float64(f.ccAcked)
+		f.ccAlpha = (1-dcqcnGain)*f.ccAlpha + dcqcnGain*frac
+		if f.ccMarked > 0 {
+			w *= 1 - f.ccAlpha/2
+		}
+		advanceWindow(f)
+	}
+	return clampW(w, c.maxW)
+}
+
+// swiftCC approximates Swift's delay-targeted AIMD: the target is the
+// flow's uncongested one-way delay scaled by Config.SwiftTargetFactor; an
+// ack whose measured delay overshoots the target shrinks the window by the
+// overshoot ratio — floored at 1/2 and applied at most once per
+// observation window, Swift's max-decrease pacing — and acks under target
+// grow it by one packet per RTT.
+type swiftCC struct{ maxW, target float64 }
+
+func (swiftCC) Name() string { return CCSwift }
+
+func (c swiftCC) Init(f *Flow) float64 {
+	f.ccAlpha = 0
+	advanceWindow(f)
+	return c.maxW
+}
+
+func (c swiftCC) OnAck(f *Flow, seq int64, _ bool, delay float64) float64 {
+	w := f.cwnd
+	target := f.baseDelay * c.target
+	over := delay > target && target > 0
+	if !over {
+		w += 1 / w // additive increase: ~1 packet per RTT
+	}
+	if seq >= f.ccWndSeq {
+		if over {
+			ratio := target / delay
+			if ratio < 0.5 {
+				ratio = 0.5
+			}
+			w *= ratio
+		}
+		advanceWindow(f)
+	}
+	return clampW(w, c.maxW)
+}
+
+func clampW(w, maxW float64) float64 {
+	if w < 1 {
+		return 1
+	}
+	if w > maxW {
+		return maxW
+	}
+	return w
+}

@@ -1,0 +1,218 @@
+package packetsim
+
+import (
+	"testing"
+
+	"mixnet/internal/eventsim"
+	"mixnet/internal/topo"
+)
+
+func TestCCRegistry(t *testing.T) {
+	for _, name := range append(CCNames(), "") {
+		cc, err := NewCC(Config{Window: 64, CC: name}.withDefaults())
+		if err != nil {
+			t.Fatalf("NewCC(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = CCFixed
+		}
+		if cc.Name() != want {
+			t.Errorf("NewCC(%q).Name() = %q", name, cc.Name())
+		}
+		if err := ValidCC(name); err != nil {
+			t.Errorf("ValidCC(%q): %v", name, err)
+		}
+	}
+	if _, err := NewCC(Config{Window: 64, CC: "bbr"}); err == nil {
+		t.Error("unknown controller accepted")
+	}
+	if err := ValidCC("bbr"); err == nil {
+		t.Error("ValidCC accepted unknown controller")
+	}
+}
+
+// incastFlows builds a star incast: n elephants at t=0 plus nShort late
+// short flows, all into one destination NIC behind a single hot port.
+func incastFlows(t *testing.T, n, nShort int) (*topo.Graph, []*Flow) {
+	t.Helper()
+	g := topo.NewGraph()
+	dst := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+	sw := g.AddNode(topo.KindTor, "", -1, -1, -1)
+	g.AddDuplex(sw, dst, 8e9, 1e-6) // 1 GB/s hot port
+	var flows []*Flow
+	add := func(id int, bytes int64, start eventsim.Time) {
+		src := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+		g.AddDuplex(src, sw, 8e9, 1e-6)
+		rt, err := topo.NewBFSRouter(g).Route(src, dst, uint64(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, &Flow{ID: id, Path: rt, Bytes: bytes, Start: start})
+	}
+	for i := 0; i < n; i++ {
+		add(i, 8<<20, 0)
+	}
+	for i := 0; i < nShort; i++ {
+		add(n+i, 64<<10, eventsim.FromSeconds(2e-3))
+	}
+	return g, flows
+}
+
+// TestCCDeterministicAcrossRuns: every congestion controller must produce
+// byte-identical makespans and per-flow finishes across repeated
+// Sim.Simulate calls on a reused Sim, and match a fresh package-level
+// Simulate.
+func TestCCDeterministicAcrossRuns(t *testing.T) {
+	for _, cc := range CCNames() {
+		t.Run(cc, func(t *testing.T) {
+			cfg := Config{CC: cc}
+			g, fresh := incastFlows(t, 5, 3)
+			want, err := Simulate(g, fresh, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSim()
+			for run := 0; run < 3; run++ {
+				_, flows := incastFlows(t, 5, 3)
+				// Reuse the first graph so link IDs match busy-array sizing.
+				got, err := s.Simulate(g, flows, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Makespan != want.Makespan || got.Packets != want.Packets || got.Marks != want.Marks {
+					t.Fatalf("run %d: %+v, want %+v", run, got, want)
+				}
+				for i := range flows {
+					if flows[i].Finish != fresh[i].Finish {
+						t.Errorf("run %d flow %d: Finish %v vs %v", run, i, flows[i].Finish, fresh[i].Finish)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCCDeterministicOnReusedFlows: re-simulating the same Flow structs must
+// fully reset per-flow congestion state (cwnd, inflight, alpha, window
+// counters) and reproduce identical results.
+func TestCCDeterministicOnReusedFlows(t *testing.T) {
+	for _, cc := range CCNames() {
+		t.Run(cc, func(t *testing.T) {
+			cfg := Config{CC: cc}
+			g, flows := incastFlows(t, 4, 2)
+			s := NewSim()
+			first, err := s.Simulate(g, flows, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstFinish := make([]eventsim.Time, len(flows))
+			for i, f := range flows {
+				firstFinish[i] = f.Finish
+			}
+			for run := 0; run < 3; run++ {
+				got, err := s.Simulate(g, flows, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != first {
+					t.Fatalf("run %d: %+v, want %+v", run, got, first)
+				}
+				for i, f := range flows {
+					if f.Finish != firstFinish[i] {
+						t.Errorf("run %d flow %d: Finish %v vs %v", run, i, f.Finish, firstFinish[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDCQCNMarksUnderIncast: sustained incast must trip ECN marking.
+func TestDCQCNMarksUnderIncast(t *testing.T) {
+	g, flows := incastFlows(t, 5, 0)
+	res, err := Simulate(g, flows, Config{CC: CCDCQCN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Marks == 0 {
+		t.Error("dcqcn incast produced no ECN marks")
+	}
+	// The fixed baseline never marks.
+	g2, flows2 := incastFlows(t, 5, 0)
+	res2, err := Simulate(g2, flows2, Config{CC: CCFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Marks != 0 {
+		t.Errorf("fixed controller marked %d packets", res2.Marks)
+	}
+}
+
+// TestAdaptiveCCShortFlowLatency is the tentpole's behavioural regression:
+// a short flow arriving mid-incast waits behind the fixed window's standing
+// queue, while DCQCN/Swift keep the queue near threshold — its completion
+// time must improve by a clear margin (1.4x here; the 16 KiB-MTU backend
+// regime in abl_cc shows far larger gaps).
+func TestAdaptiveCCShortFlowLatency(t *testing.T) {
+	shortFCT := func(cc string) float64 {
+		g, flows := incastFlows(t, 5, 1)
+		if _, err := Simulate(g, flows, Config{CC: cc}); err != nil {
+			t.Fatal(err)
+		}
+		short := flows[len(flows)-1]
+		return (short.Finish - short.Start).Seconds()
+	}
+	fixed := shortFCT(CCFixed)
+	for _, cc := range []string{CCDCQCN, CCSwift} {
+		if got := shortFCT(cc); got > fixed/1.4 {
+			t.Errorf("%s short FCT %.3fms, fixed %.3fms: want at least 1.4x better", cc, got*1e3, fixed*1e3)
+		}
+	}
+}
+
+// TestAdaptiveCCWorkConserving: elephants alone must still finish within a
+// few percent of the fixed baseline (the controllers shed queue, not
+// throughput).
+func TestAdaptiveCCWorkConserving(t *testing.T) {
+	makespan := func(cc string) float64 {
+		g, flows := incastFlows(t, 5, 0)
+		res, err := Simulate(g, flows, Config{CC: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan.Seconds()
+	}
+	fixed := makespan(CCFixed)
+	for _, cc := range []string{CCDCQCN, CCSwift} {
+		got := makespan(cc)
+		if got > fixed*1.05 {
+			t.Errorf("%s makespan %.3fms vs fixed %.3fms: >5%% throughput loss", cc, got*1e3, fixed*1e3)
+		}
+	}
+}
+
+// TestCCSteadyStateAllocsStable extends the alloc guards to the congestion
+// controllers: per-flow CC state lives inside the caller's Flows, so a
+// reused Sim's per-run allocations (event closures) must not grow run over
+// run for any controller.
+func TestCCSteadyStateAllocsStable(t *testing.T) {
+	for _, cc := range CCNames() {
+		t.Run(cc, func(t *testing.T) {
+			cfg := Config{CC: cc}
+			g, flows := incastFlows(t, 4, 2)
+			s := NewSim()
+			run := func() {
+				if _, err := s.Simulate(g, flows, cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm-up: grow the event queue and busy array
+			first := testing.AllocsPerRun(5, run)
+			second := testing.AllocsPerRun(5, run)
+			if second > first {
+				t.Errorf("allocs grew run over run: %v -> %v", first, second)
+			}
+		})
+	}
+}

@@ -1,8 +1,10 @@
 // Package packetsim is an event-driven packet-level network simulator in
 // the spirit of htsim (which the paper builds on): flows are segmented into
 // MTU-sized packets, every link models store-and-forward serialisation with
-// an output queue, and sources are paced by a sliding window acknowledged
-// end-to-end.
+// an output queue, and sources are paced by a pluggable congestion
+// controller reacting to per-hop queue depth (see CongestionControl: the
+// deterministic fixed window, a DCQCN-style ECN controller, and a
+// Swift-style delay controller).
 //
 // It is the high-fidelity substrate; internal/flowsim approximates it at
 // fluid granularity and is cross-validated against it (see crosscheck
@@ -20,7 +22,17 @@ import (
 // Config controls packetisation and pacing.
 type Config struct {
 	MTU    int64 // payload bytes per packet (default 4096)
-	Window int   // packets in flight per flow (default 64)
+	Window int   // packets in flight per flow (default 64); adaptive controllers treat it as the window cap
+
+	// CC selects the congestion controller: "fixed" (default), "dcqcn" or
+	// "swift". See CCNames.
+	CC string
+	// ECNThresholdPkts is the output-queue depth, in full-MTU serialisation
+	// times, above which a link ECN-marks a packet (dcqcn; default 8).
+	ECNThresholdPkts int
+	// SwiftTargetFactor scales a flow's uncongested one-way delay into the
+	// swift controller's target delay (default 4).
+	SwiftTargetFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -29,6 +41,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = 64
+	}
+	if c.CC == "" {
+		c.CC = CCFixed
+	}
+	if c.ECNThresholdPkts <= 0 {
+		c.ECNThresholdPkts = 8
+	}
+	if c.SwiftTargetFactor <= 0 {
+		c.SwiftTargetFactor = 4
 	}
 	return c
 }
@@ -47,6 +68,15 @@ type Flow struct {
 	nextSeq   int64
 	delivered int64
 	ackLat    eventsim.Time
+
+	// congestion-control state, reset by every Simulate call.
+	cwnd      float64 // current window in packets
+	inflight  int64   // packets sent but not yet acknowledged
+	ccAlpha   float64 // controller scalar (dcqcn: EWMA of marked fraction)
+	ccWndSeq  int64   // first seq of the current observation window (decrease gating)
+	ccAcked   int64   // acks counted in the current observation window
+	ccMarked  int64   // ECN-marked acks in the current observation window
+	baseDelay float64 // uncongested one-way delay in seconds (serialisation + propagation)
 }
 
 // Result summarises a Simulate run.
@@ -54,22 +84,32 @@ type Result struct {
 	Makespan eventsim.Time
 	Packets  int64
 	Events   uint64
+	// Marks counts ECN-marked packets (always 0 unless the controller
+	// enables marking).
+	Marks int64
 }
 
 type sim struct {
-	g     *topo.Graph
-	cfg   Config
-	es    *eventsim.Simulator
-	busy  []eventsim.Time // per directed link: time the transmitter frees up
-	total int64
+	g        *topo.Graph
+	cfg      Config
+	es       *eventsim.Simulator
+	busy     []eventsim.Time // per directed link: time the transmitter frees up
+	cc       CongestionControl
+	adaptive bool    // controller reacts to acks: always schedule them
+	marking  bool    // links ECN-mark over-threshold packets
+	ecnBits  float64 // marking threshold numerator: ECNThresholdPkts * MTU * 8
+	total    int64
+	marks    int64
 }
 
 // Sim is a reusable packet-level engine: it keeps the event queue's backing
 // storage and the per-link busy array alive across Simulate calls, so
 // repeated invocations over the same graph (e.g. the netsim packet backend
 // running one collective phase after another) skip the per-call setup
-// allocations instead of rebuilding them from scratch. A Sim must not be
-// used from multiple goroutines concurrently.
+// allocations instead of rebuilding them from scratch. Per-flow congestion
+// state lives inside the caller's Flows, so no controller state survives a
+// call either. A Sim must not be used from multiple goroutines
+// concurrently.
 type Sim struct {
 	es   *eventsim.Simulator
 	busy []eventsim.Time
@@ -100,19 +140,36 @@ func Simulate(g *topo.Graph, flows []*Flow, cfg Config) (Result, error) {
 }
 
 func (s *sim) run(flows []*Flow) (Result, error) {
+	cc, err := NewCC(s.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.cc = cc
+	s.adaptive = s.cfg.CC != CCFixed
+	s.marking = s.cfg.CC == CCDCQCN
+	s.ecnBits = float64(s.cfg.ECNThresholdPkts) * float64(s.cfg.MTU*8)
 	for _, f := range flows {
 		if f.Bytes < 0 {
 			return Result{}, fmt.Errorf("packetsim: flow %d negative bytes", f.ID)
 		}
+		base := 0.0
 		for _, lid := range f.Path {
-			if !s.g.Link(lid).Up {
+			l := s.g.Link(lid)
+			if !l.Up {
 				return Result{}, fmt.Errorf("packetsim: flow %d uses down link %d", f.ID, lid)
 			}
+			if l.Bps <= 0 {
+				return Result{}, fmt.Errorf("packetsim: flow %d uses zero-capacity link %d", f.ID, lid)
+			}
+			base += float64(s.cfg.MTU*8)/l.Bps + l.Latency
 		}
 		f.totalPkts = (f.Bytes + s.cfg.MTU - 1) / s.cfg.MTU
 		f.nextSeq, f.delivered = 0, 0
 		f.Finish = 0
 		f.ackLat = eventsim.FromSeconds(topo.PathLatency(s.g, f.Path))
+		f.cwnd, f.inflight, f.ccAlpha = 0, 0, 0
+		f.ccWndSeq, f.ccAcked, f.ccMarked = 0, 0, 0
+		f.baseDelay = base
 		s.total += f.totalPkts
 	}
 	for _, f := range flows {
@@ -123,6 +180,7 @@ func (s *sim) run(flows []*Flow) (Result, error) {
 	var res Result
 	res.Events = s.es.Steps()
 	res.Packets = s.total
+	res.Marks = s.marks
 	for _, f := range flows {
 		if f.totalPkts == 0 && f.Finish == 0 {
 			f.Finish = f.Start + f.ackLat
@@ -143,8 +201,18 @@ func (s *sim) startFlow(f *Flow) {
 		}
 		return
 	}
-	w := int64(s.cfg.Window)
-	for i := int64(0); i < w && f.nextSeq < f.totalPkts; i++ {
+	f.cwnd = s.cc.Init(f)
+	s.fillWindow(f)
+}
+
+// fillWindow releases packets until the flow's window is full or its bytes
+// are exhausted.
+func (s *sim) fillWindow(f *Flow) {
+	allow := int64(f.cwnd)
+	if allow < 1 {
+		allow = 1
+	}
+	for f.inflight < allow && f.nextSeq < f.totalPkts {
 		s.sendNext(f)
 	}
 }
@@ -163,12 +231,16 @@ func (f *Flow) pktSize(seq int64, mtu int64) int64 {
 func (s *sim) sendNext(f *Flow) {
 	seq := f.nextSeq
 	f.nextSeq++
-	s.forward(f, seq, 0, s.es.Now())
+	f.inflight++
+	s.forward(f, seq, 0, s.es.Now(), s.es.Now(), false)
 }
 
 // forward models packet (f, seq) arriving at hop index hop at time t and
-// being serialised onto that link.
-func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time) {
+// being serialised onto that link. sent is the packet's release time at the
+// source; marked accumulates the ECN congestion-experienced bit across
+// hops: a link marks when the packet finds more than the marking threshold
+// of queueing ahead of it (busy[lid] - now).
+func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time, sent eventsim.Time, marked bool) {
 	lid := f.Path[hop]
 	l := s.g.Link(lid)
 	size := f.pktSize(seq, s.cfg.MTU)
@@ -177,30 +249,45 @@ func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time) {
 	if s.busy[lid] > depart {
 		depart = s.busy[lid]
 	}
+	if s.marking && !marked && (depart-t).Seconds() > s.ecnBits/l.Bps {
+		marked = true
+		s.marks++
+	}
 	done := depart + txTime
 	s.busy[lid] = done
 	arrive := done + eventsim.FromSeconds(l.Latency)
 	if hop+1 < len(f.Path) {
-		s.es.ScheduleAt(arrive, func() { s.forward(f, seq, hop+1, s.es.Now()) })
+		s.es.ScheduleAt(arrive, func() { s.forward(f, seq, hop+1, s.es.Now(), sent, marked) })
 		return
 	}
-	s.es.ScheduleAt(arrive, func() { s.deliver(f) })
+	s.es.ScheduleAt(arrive, func() { s.deliver(f, seq, sent, marked) })
 }
 
-func (s *sim) deliver(f *Flow) {
+// deliver models the last byte of a packet reaching the destination. The
+// acknowledgement carrying the congestion signals travels back over the
+// path's propagation delay; for the fixed controller ack events are elided
+// when they can no longer release a packet, preserving the historical event
+// schedule byte-for-byte.
+func (s *sim) deliver(f *Flow, seq int64, sent eventsim.Time, marked bool) {
 	f.delivered++
 	if f.delivered == f.totalPkts {
 		f.Finish = s.es.Now()
 		return
 	}
-	// Ack travels back; source may then release the next packet.
-	if f.nextSeq < f.totalPkts {
-		s.es.Schedule(f.ackLat, func() {
-			if f.nextSeq < f.totalPkts {
-				s.sendNext(f)
-			}
-		})
+	if s.adaptive || f.nextSeq < f.totalPkts {
+		delay := (s.es.Now() - sent).Seconds()
+		s.es.Schedule(f.ackLat, func() { s.ack(f, seq, marked, delay) })
 	}
+}
+
+// ack applies one acknowledgement at the source: the controller digests the
+// congestion signals and the freed window slots release further packets.
+func (s *sim) ack(f *Flow, seq int64, marked bool, delay float64) {
+	if f.inflight > 0 {
+		f.inflight--
+	}
+	f.cwnd = s.cc.OnAck(f, seq, marked, delay)
+	s.fillWindow(f)
 }
 
 // Makespan runs Simulate and returns only the makespan in seconds.

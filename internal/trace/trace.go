@@ -94,10 +94,18 @@ func (tr *Reader) Next() (*Record, error) {
 	return &rec, nil
 }
 
+// MaxLayer bounds Record.Layer: ReplaySource.Next sizes its per-iteration
+// layer slice by the highest index seen, so an unbounded index in a corrupt
+// trace would translate into an arbitrarily large allocation.
+const MaxLayer = 1 << 16
+
 // Validate checks structural consistency.
 func (r *Record) Validate() error {
 	if r.Iteration < 0 || r.Layer < 0 {
 		return fmt.Errorf("trace: negative iteration/layer in record")
+	}
+	if r.Layer > MaxLayer {
+		return fmt.Errorf("trace: layer index %d exceeds MaxLayer %d", r.Layer, MaxLayer)
 	}
 	n := len(r.Matrix)
 	for i, row := range r.Matrix {
@@ -110,6 +118,12 @@ func (r *Record) Validate() error {
 				return fmt.Errorf("trace: iter %d layer %d: negative demand", r.Iteration, r.Layer)
 			}
 		}
+	}
+	// Loads are per-expert fractions while the matrix is EP-rank demand, so
+	// the expert count must spread evenly over the ranks.
+	if n > 0 && len(r.Loads) > 0 && len(r.Loads)%n != 0 {
+		return fmt.Errorf("trace: iter %d layer %d: %d loads not divisible by matrix dimension %d",
+			r.Iteration, r.Layer, len(r.Loads), n)
 	}
 	return nil
 }
@@ -164,13 +178,21 @@ func (rs *ReplaySource) Next() *moe.Iteration {
 	idx := rs.order[rs.next%len(rs.order)]
 	rs.next++
 	recs := rs.records[idx]
-	it := &moe.Iteration{Index: idx, Layers: make([]moe.LayerDispatch, len(recs))}
+	// Size by the highest layer index, not the record count: a sparse or
+	// gapped trace (e.g. only layers 2 and 5 captured) must keep every
+	// record at its own slot instead of silently dropping those with
+	// Layer >= len(recs).
+	maxLayer := -1
 	for _, rec := range recs {
-		if rec.Layer < len(it.Layers) {
-			it.Layers[rec.Layer] = moe.LayerDispatch{
-				Loads:      append([]float64(nil), rec.Loads...),
-				RankMatrix: rec.ToMatrix(),
-			}
+		if rec.Layer > maxLayer {
+			maxLayer = rec.Layer
+		}
+	}
+	it := &moe.Iteration{Index: idx, Layers: make([]moe.LayerDispatch, maxLayer+1)}
+	for _, rec := range recs {
+		it.Layers[rec.Layer] = moe.LayerDispatch{
+			Loads:      append([]float64(nil), rec.Loads...),
+			RankMatrix: rec.ToMatrix(),
 		}
 	}
 	return it

@@ -68,6 +68,7 @@ func TestReaderRejectsMalformed(t *testing.T) {
 		`{"iter":-1,"layer":0,"loads":[],"matrix":[]}`,
 		`{"iter":0,"layer":0,"loads":[],"matrix":[[1,2],[3]]}`,
 		`{"iter":0,"layer":0,"loads":[],"matrix":[[-1]]}`,
+		`{"iter":0,"layer":2000000000,"loads":[],"matrix":[[1]]}`,
 	}
 	for _, c := range cases {
 		r := NewReader(strings.NewReader(c))
@@ -99,6 +100,57 @@ func TestReplaySource(t *testing.T) {
 	again := rs.Next()
 	if again.Index != it.Index {
 		t.Errorf("cycle returned iteration %d, want %d", again.Index, it.Index)
+	}
+}
+
+// TestReplaySparseLayers is the regression test for sizing Layers by record
+// count: a trace holding only a high layer index (e.g. layers 2 and 5 of an
+// iteration) must keep every record at its own slot instead of dropping
+// those with Layer >= len(records).
+func TestReplaySparseLayers(t *testing.T) {
+	trace := strings.Join([]string{
+		`{"iter":0,"layer":2,"loads":[0.5,0.5],"matrix":[[0,1],[1,0]]}`,
+		`{"iter":0,"layer":5,"loads":[0.25,0.75],"matrix":[[0,2],[2,0]]}`,
+	}, "\n")
+	rs, err := Load(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := rs.Next()
+	if it == nil {
+		t.Fatal("sparse trace replayed nothing")
+	}
+	if len(it.Layers) != 6 {
+		t.Fatalf("Layers sized %d, want 6 (max layer index 5 + 1)", len(it.Layers))
+	}
+	for _, l := range []int{2, 5} {
+		if it.Layers[l].RankMatrix == nil {
+			t.Errorf("layer %d dropped: nil RankMatrix", l)
+		}
+	}
+	if it.Layers[5].RankMatrix != nil && it.Layers[5].RankMatrix.At(0, 1) != 2 {
+		t.Error("layer 5 holds the wrong record")
+	}
+	// Gaps between captured layers stay zero-valued.
+	for _, l := range []int{0, 1, 3, 4} {
+		if it.Layers[l].RankMatrix != nil {
+			t.Errorf("uncaptured layer %d unexpectedly populated", l)
+		}
+	}
+}
+
+// TestValidateLoadsDimension: per-expert loads must spread evenly over the
+// EP-rank matrix dimension.
+func TestValidateLoadsDimension(t *testing.T) {
+	bad := `{"iter":0,"layer":0,"loads":[0.2,0.3,0.5],"matrix":[[0,1],[1,0]]}`
+	r := NewReader(strings.NewReader(bad))
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Error("3 loads over a 2x2 matrix accepted")
+	}
+	ok := `{"iter":0,"layer":0,"loads":[0.2,0.3,0.4,0.1],"matrix":[[0,1],[1,0]]}`
+	r = NewReader(strings.NewReader(ok))
+	if _, err := r.Next(); err != nil {
+		t.Errorf("4 loads over a 2x2 matrix rejected: %v", err)
 	}
 }
 

@@ -10,16 +10,25 @@ import (
 
 // Failure hooks (§5.4): the engine supports remapping GPUs to backups and
 // accounting the TP-over-scale-out penalty that arises when a replacement
-// GPU breaks the NVSwitch locality of its TP group.
+// GPU breaks the NVSwitch locality of its TP group. Penalties charged by
+// FailGPU/FailServer are tracked per overridden GPU, so restoring an
+// override (OverrideGPU(orig, orig)) undoes exactly its own charge —
+// composed failure scenarios unwind independently.
 
 // OverrideGPU redirects every role of the original GPU node to a
 // replacement (the designated backup GPU). Passing the original node
-// restores it.
+// restores it and releases any TP-over-EPS penalty charged against it;
+// re-overriding an already-overridden GPU likewise drops the stale charge
+// so the caller can re-assess it.
 func (e *Engine) OverrideGPU(orig, repl topo.NodeID) {
 	if e.gpuOverride == nil {
 		e.gpuOverride = map[topo.NodeID]topo.NodeID{}
 	}
 	e.overrideGen++
+	if p, ok := e.tpPenalty[orig]; ok {
+		e.tpTracked -= p
+		delete(e.tpPenalty, orig)
+	}
 	if orig == repl {
 		delete(e.gpuOverride, orig)
 		return
@@ -27,10 +36,26 @@ func (e *Engine) OverrideGPU(orig, repl topo.NodeID) {
 	e.gpuOverride[orig] = repl
 }
 
-// SetTPOverEPS marks n EP ranks as running their TP group across the
-// scale-out fabric (because a member GPU was remapped off-host). Their TP
-// all-reduces leave NVSwitch and are charged at NIC line rate (§7.5).
+// chargeTPOverEPS records a TP-over-EPS penalty against an overridden GPU;
+// restoring that GPU releases it.
+func (e *Engine) chargeTPOverEPS(orig topo.NodeID, ranks int) {
+	if e.tpPenalty == nil {
+		e.tpPenalty = map[topo.NodeID]int{}
+	}
+	e.tpPenalty[orig] += ranks
+	e.tpTracked += ranks
+}
+
+// SetTPOverEPS sets the manual base count of EP ranks running their TP
+// group across the scale-out fabric (because a member GPU was remapped
+// off-host). Their TP all-reduces leave NVSwitch and are charged at NIC
+// line rate (§7.5). Charges tracked by FailGPU/FailServer are accounted
+// separately and are unaffected.
 func (e *Engine) SetTPOverEPS(ranks int) { e.tpOverEPS = ranks }
+
+// TPOverEPS returns the effective count of EP ranks whose TP group spans
+// the scale-out fabric: the manual base plus the failure-hook charges.
+func (e *Engine) TPOverEPS() int { return e.tpOverEPS + e.tpTracked }
 
 // Controller exposes the representative region's topology controller so
 // failure scenarios can exclude servers (nil for static fabrics).
@@ -47,7 +72,7 @@ func (e *Engine) mapGPU(n topo.NodeID) topo.NodeID {
 // traverse the scale-out fabric instead of NVSwitch: two ring all-reduces
 // of the micro-batch activation volume at NIC line rate.
 func (e *Engine) tpOverEPSPenalty() float64 {
-	if e.tpOverEPS == 0 || e.Plan.TP < 2 {
+	if e.TPOverEPS() == 0 || e.Plan.TP < 2 {
 		return 0
 	}
 	s := float64(e.Plan.TokensPerMicroBatch()) * e.Model.TokenBytes()
@@ -57,7 +82,8 @@ func (e *Engine) tpOverEPSPenalty() float64 {
 
 // FailGPU remaps one GPU of the representative EP group to a backup GPU
 // node, applying the TP-over-EPS penalty when the rank's TP group no longer
-// shares a server. Returns the original node so callers can restore it.
+// shares a server. Returns the original node so callers can restore it via
+// OverrideGPU(orig, orig), which also lifts the penalty.
 func (e *Engine) FailGPU(ep, tp int, backup topo.NodeID) (topo.NodeID, error) {
 	p := e.Plan
 	if ep < 0 || ep >= p.EP || tp < 0 || tp >= p.TP {
@@ -66,14 +92,16 @@ func (e *Engine) FailGPU(ep, tp int, backup topo.NodeID) (topo.NodeID, error) {
 	orig := e.Place.GPUNode(parallel.Rank{DP: 0, PP: 0, EP: ep, TP: tp})
 	e.OverrideGPU(orig, backup)
 	if p.TP > 1 && e.Cluster.G.Node(backup).Server != e.Cluster.G.Node(orig).Server {
-		e.tpOverEPS++
+		e.chargeTPOverEPS(orig, 1)
 	}
 	return orig, nil
 }
 
 // FailServer remaps every GPU of a representative-group server to the
 // backup server's GPUs (connected via EPS only, §5.4), excludes the failed
-// server from circuit planning, and returns the original GPU nodes.
+// server from circuit planning, and returns the original GPU nodes. The
+// backup must have at least as many GPUs as the failed server; doubling
+// ranks up on a smaller backup would silently misrepresent the remap.
 func (e *Engine) FailServer(server int, backup int) ([]topo.NodeID, error) {
 	if server < 0 || server >= len(e.Cluster.Servers) || backup < 0 || backup >= len(e.Cluster.Servers) {
 		return nil, fmt.Errorf("trainsim: server index out of range")
@@ -83,14 +111,22 @@ func (e *Engine) FailServer(server int, backup int) ([]topo.NodeID, error) {
 	}
 	src := e.Cluster.Servers[server]
 	dst := e.Cluster.Servers[backup]
+	if len(dst.GPUs) < len(src.GPUs) {
+		return nil, fmt.Errorf("trainsim: backup server %d has %d GPUs, failed server %d has %d",
+			backup, len(dst.GPUs), server, len(src.GPUs))
+	}
 	var origs []topo.NodeID
 	for i, g := range src.GPUs {
-		e.OverrideGPU(g, dst.GPUs[i%len(dst.GPUs)])
+		e.OverrideGPU(g, dst.GPUs[i])
 		origs = append(origs, g)
 	}
 	if e.Plan.TP > 1 {
-		// Every EP rank with TP members on the dead server now spans hosts.
-		e.tpOverEPS += len(src.GPUs) / e.Plan.TP
+		// Every EP rank with TP members on the dead server now spans hosts;
+		// charge one penalty per full TP group, keyed to its first GPU so
+		// restoring the server releases them all.
+		for k := 0; k < len(src.GPUs)/e.Plan.TP; k++ {
+			e.chargeTPOverEPS(src.GPUs[k*e.Plan.TP], 1)
+		}
 	}
 	if e.controller != nil {
 		e.controller.SetServerFailed(server, true)

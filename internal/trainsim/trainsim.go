@@ -62,6 +62,10 @@ type Options struct {
 	// "fluid" (default), "packet" or "analytic". Packet fidelity suits
 	// small configurations; analytic suits huge sweeps.
 	Backend string
+	// CC names the packet backend's congestion controller: "fixed"
+	// (default), "dcqcn" or "swift". Adaptive controllers require
+	// Backend == "packet".
+	CC string
 	// Device models OCS reconfiguration latency; nil means the fabric has
 	// no runtime reconfiguration (electrical fabrics, TopoOpt).
 	Device *ocs.Device
@@ -114,8 +118,10 @@ type Engine struct {
 
 	// failure state (§5.4)
 	gpuOverride map[topo.NodeID]topo.NodeID
-	overrideGen int // bumped on OverrideGPU; invalidates leader caches
-	tpOverEPS   int
+	overrideGen int                 // bumped on OverrideGPU; invalidates leader caches
+	tpOverEPS   int                 // manual base set via SetTPOverEPS
+	tpPenalty   map[topo.NodeID]int // per-override TP-over-EPS charges, keyed by original GPU
+	tpTracked   int                 // sum of tpPenalty charges (kept in step with the map)
 
 	// reusable per-iteration scratch: leader GPU set and the expanded
 	// all-to-all node/demand buffers, recomputed only when a GPU override
@@ -184,7 +190,7 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if opts.Source != nil {
 		source = opts.Source
 	}
-	backend, err := netsim.New(opts.Backend)
+	backend, err := netsim.NewWithCC(opts.Backend, opts.CC)
 	if err != nil {
 		return nil, fmt.Errorf("trainsim: %w", err)
 	}

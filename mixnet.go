@@ -28,6 +28,7 @@ import (
 	"mixnet/internal/moe"
 	"mixnet/internal/netsim"
 	"mixnet/internal/ocs"
+	"mixnet/internal/packetsim"
 	"mixnet/internal/parallel"
 	"mixnet/internal/topo"
 	"mixnet/internal/trainsim"
@@ -59,6 +60,10 @@ type SimConfig struct {
 	// packet-level fidelity (small configurations), or "analytic" for the
 	// iteration-free alpha-beta bound (huge sweeps). See SimBackends.
 	Backend string
+	// CC selects the packet backend's congestion controller: "fixed"
+	// (default), "dcqcn" or "swift". Adaptive controllers require
+	// Backend == "packet". See SimCongestionControls.
+	CC string
 	// LinkGbps is the NIC line rate in Gbit/s (default 400).
 	LinkGbps float64
 	// DP scales the cluster by replicating the model (default 1).
@@ -141,7 +146,7 @@ func Simulate(cfg SimConfig) (Result, error) {
 		return Result{}, fmt.Errorf("mixnet: fabric %v not supported by Simulate", cfg.Fabric)
 	}
 
-	opts := trainsim.Options{GateSeed: cfg.Seed, Backend: cfg.Backend}
+	opts := trainsim.Options{GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC}
 	if cfg.Fabric == MixNet {
 		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
 		switch cfg.FirstA2A {
@@ -183,6 +188,10 @@ func NetworkCost(fabric Fabric, servers, gbps int) (CostBreakdown, error) {
 // SimBackends lists the available network-simulation backends in fidelity
 // order: "fluid", "packet", "analytic".
 func SimBackends() []string { return netsim.Names() }
+
+// SimCongestionControls lists the packet backend's congestion controllers:
+// "fixed", "dcqcn", "swift".
+func SimCongestionControls() []string { return packetsim.CCNames() }
 
 // ListModels returns the model registry names in sorted order.
 func ListModels() []string {
