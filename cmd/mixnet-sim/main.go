@@ -1,9 +1,13 @@
 // mixnet-sim runs one distributed MoE training simulation on a chosen
-// fabric and prints per-iteration timing.
+// fabric and prints per-iteration timing, or drives a named scenario
+// (synthetic gate, trace replay, failure drill) through any backend.
 //
 // Usage:
 //
 //	mixnet-sim -model "Mixtral 8x7B" -fabric mixnet -gbps 100 -iters 3 -mode copilot
+//	mixnet-sim -backend packet -workers 8            # sharded packet fidelity
+//	mixnet-sim -scenario trace -backend packet       # trace replay at packet fidelity
+//	mixnet-sim -scenario matrix -backends fluid,packet,analytic
 package main
 
 import (
@@ -13,21 +17,25 @@ import (
 	"strings"
 
 	"mixnet"
+	"mixnet/internal/scenario"
 )
 
 func main() {
 	var (
-		model   = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
-		fabric  = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
-		backend = flag.String("backend", "fluid", "network simulation backend: fluid | packet | analytic")
-		cc      = flag.String("cc", "", "packet-backend congestion control: fixed | dcqcn | swift")
-		gbps    = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
-		dp      = flag.Int("dp", 1, "data-parallel replicas")
-		iters   = flag.Int("iters", 3, "iterations to simulate")
-		mode    = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
-		delay   = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
-		seed    = flag.Int64("seed", 1, "gate random seed")
-		list    = flag.Bool("list", false, "list models and exit")
+		model    = flag.String("model", "Mixtral 8x7B", "model name (see -list)")
+		fabric   = flag.String("fabric", "mixnet", "fat-tree | oversub | rail | topoopt | mixnet")
+		backend  = flag.String("backend", "fluid", "network simulation backend: fluid | packet | analytic | analytic-ecmp")
+		cc       = flag.String("cc", "", "packet-backend congestion control: fixed | dcqcn | swift")
+		workers  = flag.Int("workers", 0, "packet-backend parallel shard event loops (0/1 = serial, -1 = GOMAXPROCS)")
+		gbps     = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
+		dp       = flag.Int("dp", 1, "data-parallel replicas")
+		iters    = flag.Int("iters", 3, "iterations to simulate")
+		mode     = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
+		delay    = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
+		seed     = flag.Int64("seed", 1, "gate random seed")
+		scen     = flag.String("scenario", "", "run a named scenario instead: synthetic | trace | fail-nic | fail-gpu | fail-server | matrix")
+		backends = flag.String("backends", "", "comma-separated backend list for -scenario matrix (default: -backend)")
+		list     = flag.Bool("list", false, "list models and scenarios, then exit")
 	)
 	flag.Parse()
 
@@ -35,22 +43,26 @@ func main() {
 		for _, m := range mixnet.ListModels() {
 			fmt.Println(m)
 		}
+		fmt.Println("scenarios:", strings.Join(scenario.Names(), " "))
 		return
 	}
-	kinds := map[string]mixnet.Fabric{
-		"fat-tree": mixnet.FatTree,
-		"oversub":  mixnet.OverSubFatTree,
-		"rail":     mixnet.RailOptimized,
-		"topoopt":  mixnet.TopoOpt,
-		"mixnet":   mixnet.MixNet,
+	if *scen != "" {
+		runScenario(*scen, *backends, scenario.Config{
+			Model: *model, Fabric: strings.ToLower(*fabric), Backend: *backend,
+			CC: *cc, Workers: *workers, LinkGbps: *gbps, DP: *dp,
+			Iterations: *iters, Seed: *seed, FirstA2A: *mode,
+			ReconfigDelaySec: *delay / 1e3,
+		})
+		return
 	}
-	kind, ok := kinds[strings.ToLower(*fabric)]
+	kind, ok := scenario.Fabrics()[strings.ToLower(*fabric)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown fabric %q\n", *fabric)
 		os.Exit(2)
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
-		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, LinkGbps: *gbps, DP: *dp,
+		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, Workers: *workers,
+		LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})
@@ -64,6 +76,9 @@ func main() {
 	} else {
 		backendDesc += " backend"
 	}
+	if *workers > 1 || *workers < 0 {
+		backendDesc += fmt.Sprintf(", %d workers", *workers)
+	}
 	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s)\n",
 		*model, kind, res.GPUs, res.Servers, *gbps, backendDesc)
 	fmt.Printf("%-5s %-10s %-10s %-10s %-10s %-10s %s\n",
@@ -74,4 +89,40 @@ func main() {
 	}
 	fmt.Printf("mean iteration time: %.3fs (A2A fraction %.0f%%)\n",
 		res.MeanIterTime, res.Stats[len(res.Stats)-1].A2AFraction()*100)
+}
+
+// runScenario drives the unified scenario runner: one named scenario on one
+// backend, or the full scenario × backend matrix.
+func runScenario(name, backendList string, cfg scenario.Config) {
+	var results []scenario.Result
+	var err error
+	if name == "matrix" {
+		var bs []string
+		if backendList != "" {
+			for _, b := range strings.Split(backendList, ",") {
+				bs = append(bs, strings.TrimSpace(b))
+			}
+		}
+		results, err = scenario.RunMatrix(nil, bs, cfg)
+	} else {
+		var r scenario.Result
+		r, err = scenario.Run(name, cfg)
+		results = append(results, r)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s %-14s %-8s %-12s %-12s %s\n",
+		"scenario", "backend", "gpus", "iter(s)", "baseline(s)", "overhead")
+	for _, r := range results {
+		over := "-"
+		base := "-"
+		if r.IsDrill() {
+			over = fmt.Sprintf("%+.1f%%", r.Overhead*100)
+			base = fmt.Sprintf("%.3f", r.BaselineIterTime)
+		}
+		fmt.Printf("%-12s %-14s %-8d %-12.3f %-12s %s\n",
+			r.Scenario, r.Backend, r.GPUs, r.MeanIterTime, base, over)
+	}
 }

@@ -311,7 +311,7 @@ func AblationCongestionControl() (Table, error) {
 			fluidFCT = append(fluidFCT, f.Finish-f.Start)
 		}
 		for _, cc := range packetsim.CCNames() {
-			b, err := netsim.NewWithCC("packet", cc)
+			b, err := netsim.NewWithWorkers("packet", cc, DefaultSimWorkers())
 			if err != nil {
 				return t, err
 			}
@@ -336,15 +336,15 @@ func AblationCongestionControl() (Table, error) {
 	return t, nil
 }
 
-// AblationFluidVsPacket cross-validates the three netsim backends on
-// randomised single-region all-to-alls: identical netsim.Phases are fed
-// through the shared Backend interface instead of constructing per-substrate
-// flow sets, so any divergence is attributable to the models, not the input.
+// AblationFluidVsPacket cross-validates every netsim backend on randomised
+// single-region all-to-alls: identical netsim.Phases are fed through the
+// shared Backend interface instead of constructing per-substrate flow sets,
+// so any divergence is attributable to the models, not the input.
 func AblationFluidVsPacket() (Table, error) {
 	t := Table{
-		ID: "abl_fluid", Title: "Ablation: simulation backend fidelity (fluid vs packet vs analytic)",
-		Header: []string{"Scenario", "Fluid (ms)", "Packet (ms)", "Analytic (ms)", "Pkt gap", "Ana gap"},
-		Notes:  "gaps relative to fluid; analytic is a lower bound (no max-min iteration)",
+		ID: "abl_fluid", Title: "Ablation: simulation backend fidelity (fluid vs packet vs analytic vs analytic-ecmp)",
+		Header: []string{"Scenario", "Fluid (ms)", "Packet (ms)", "Analytic (ms)", "Ecmp (ms)", "Pkt gap", "Ana gap", "Ecmp gap"},
+		Notes:  "gaps relative to fluid; analytic is a lower bound (no max-min iteration), analytic-ecmp additionally spreads bytes over equal-cost paths",
 	}
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 3; trial++ {
@@ -370,7 +370,7 @@ func AblationFluidVsPacket() (Table, error) {
 		phases := netsim.Phases{fs}
 		times := make(map[string]float64, 3)
 		for _, name := range netsim.Names() {
-			b, err := netsim.New(name)
+			b, err := netsim.NewWithWorkers(name, "", DefaultSimWorkers())
 			if err != nil {
 				return t, err
 			}
@@ -388,7 +388,8 @@ func AblationFluidVsPacket() (Table, error) {
 			fmt.Sprintf("%.2f", fm*1e3),
 			fmt.Sprintf("%.2f", times["packet"]*1e3),
 			fmt.Sprintf("%.2f", times["analytic"]*1e3),
-			gap(times["packet"]), gap(times["analytic"]),
+			fmt.Sprintf("%.2f", times["analytic-ecmp"]*1e3),
+			gap(times["packet"]), gap(times["analytic"]), gap(times["analytic-ecmp"]),
 		})
 	}
 	return t, nil

@@ -70,14 +70,34 @@ func DefaultCC() string {
 	return defaultCC
 }
 
-// newEngine builds a training engine, applying the package default backend
-// and congestion controller when opts doesn't name them.
+// defaultSimWorkers bounds the packet backend's parallel event loops inside
+// every experiment engine (0/1 = serial). Like defaultBackend it is set
+// once before a run. It is distinct from the experiment-level worker pool
+// (RunIDs): that parallelises across experiments, this parallelises the
+// flow shards inside one packet-level simulation.
+var defaultSimWorkers int
+
+// SetDefaultSimWorkers selects the packet-backend shard parallelism used by
+// all experiments whose options don't set one explicitly. Call it before
+// Run/RunIDs, not concurrently with them.
+func SetDefaultSimWorkers(n int) { defaultSimWorkers = n }
+
+// DefaultSimWorkers returns the packet-backend shard parallelism experiment
+// engines simulate with.
+func DefaultSimWorkers() int { return defaultSimWorkers }
+
+// newEngine builds a training engine, applying the package default backend,
+// congestion controller and packet shard parallelism when opts doesn't name
+// them.
 func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.Options) (*trainsim.Engine, error) {
 	if opts.Backend == "" {
 		opts.Backend = defaultBackend
 	}
 	if opts.CC == "" {
 		opts.CC = defaultCC
+	}
+	if opts.Workers == 0 {
+		opts.Workers = defaultSimWorkers
 	}
 	return trainsim.New(m, plan, c, opts)
 }

@@ -22,18 +22,61 @@ import (
 // suite bounds. One pass over the flows against a dense epoch-stamped link
 // arena makes it allocation-free in steady state and fast enough for
 // 32k-GPU-scale sweeps.
+//
+// With ECMP spreading enabled (NewAnalyticECMP / the "analytic-ecmp"
+// registry name), the bandwidth bound stops charging a flow's full bytes to
+// each link of its single sampled path: the bytes route fractionally over
+// the flow's shortest-path DAG, splitting evenly across each node's
+// equal-cost next hops (the choices per-hop ECMP hashing samples from).
+// That models even fractional load balancing, pricing the fabric's spread
+// capacity free of hash-collision artifacts. It is an estimate, not a
+// strict bound relative to one concrete hash outcome: even splitting can
+// place fractions on a link the sampled routing happened to avoid, so on
+// asymmetric flow sets the spread term may exceed the sampled term for
+// individual links (the symmetric-fabric orderings ecmp <= analytic <=
+// fluid are pinned empirically by the cross-validation tests). The
+// per-flow serialization bound still uses the sampled path's bottleneck,
+// so uncongested transfers keep their exact alpha-beta term.
 type Analytic struct {
+	ecmp    bool
+	router  *topo.BFSRouter // distance fields for ECMP candidate sets
 	epoch   uint32
 	stamp   []uint32
 	load    []float64 // bytes routed over the link this phase
 	touched []topo.LinkID
+
+	// per-flow fractional-routing scratch (ECMP spreading): the byte
+	// fraction reaching each node of the shortest-path DAG, epoch-stamped so
+	// consecutive flows reuse the arena without clearing it. pend buffers a
+	// flow's link charges until the DAG walk succeeds, so a degenerate DAG
+	// can fall back to sampled charging without leaving partial loads.
+	fracEpoch uint32
+	fracStamp []uint32
+	frac      []float64
+	level     [2][]topo.NodeID
+	pend      []pendCharge
 }
 
-// NewAnalytic returns a reusable analytic backend.
+// pendCharge is one buffered fractional link charge.
+type pendCharge struct {
+	lid   topo.LinkID
+	bytes float64
+}
+
+// NewAnalytic returns a reusable analytic backend charging sampled paths.
 func NewAnalytic() *Analytic { return &Analytic{} }
 
+// NewAnalyticECMP returns a reusable analytic backend that spreads each
+// flow's bytes across its per-hop equal-cost paths.
+func NewAnalyticECMP() *Analytic { return &Analytic{ecmp: true} }
+
 // Name implements Backend.
-func (*Analytic) Name() string { return "analytic" }
+func (a *Analytic) Name() string {
+	if a.ecmp {
+		return "analytic-ecmp"
+	}
+	return "analytic"
+}
 
 // reset starts a new arena epoch sized for nLinks links, allocating only
 // when the graph outgrew the arena.
@@ -50,6 +93,111 @@ func (a *Analytic) reset(nLinks int) {
 	a.touched = a.touched[:0]
 }
 
+// add charges bytes to a link in the current arena epoch.
+func (a *Analytic) add(lid topo.LinkID, bytes float64) {
+	if a.stamp[lid] != a.epoch {
+		a.stamp[lid] = a.epoch
+		a.load[lid] = 0
+		a.touched = append(a.touched, lid)
+	}
+	a.load[lid] += bytes
+}
+
+// chargeSampled charges a flow's full bytes to every link of its sampled
+// path — the pre-ECMP behaviour, and the fallback when the sampled path is
+// not a shortest path (circuit detours, post-failure reroutes): the ECMP
+// hash had no equal-cost choice there.
+func (a *Analytic) chargeSampled(f *Flow) {
+	for _, lid := range f.Path {
+		a.add(lid, f.Bytes)
+	}
+}
+
+// chargeECMP spreads a flow's bytes fractionally over its whole
+// shortest-path DAG: starting from the source with fraction 1, each node
+// splits its incoming fraction evenly across its equal-cost next hops
+// (exactly the choices per-hop ECMP hashing samples from), charging each
+// link its share of the bytes. Splits propagate level by level — distance
+// to the destination decreases by one per hop — so a fan-out at one hop
+// correctly dilutes the load on every downstream link, which per-hop-local
+// spreading would miss.
+func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
+	if a.router == nil || a.router.G != g {
+		a.router = topo.NewBFSRouter(g)
+	}
+	dst := g.Link(f.Path[len(f.Path)-1]).To
+	src := g.Link(f.Path[0]).From
+	d := a.router.DistanceField(dst)
+	if int(d[src]) != len(f.Path) {
+		a.chargeSampled(f) // sampled path is not shortest: no ECMP choice
+		return
+	}
+	if len(a.fracStamp) < len(g.Nodes) {
+		a.fracStamp = make([]uint32, len(g.Nodes))
+		a.frac = make([]float64, len(g.Nodes))
+	}
+	a.fracEpoch++
+	if a.fracEpoch == 0 {
+		clear(a.fracStamp)
+		a.fracEpoch = 1
+	}
+	epoch := a.fracEpoch
+	reach := func(n topo.NodeID) *float64 {
+		if a.fracStamp[n] != epoch {
+			a.fracStamp[n] = epoch
+			a.frac[n] = 0
+		}
+		return &a.frac[n]
+	}
+	cur := a.level[0][:0]
+	next := a.level[1][:0]
+	pend := a.pend[:0]
+	*reach(src) = 1
+	cur = append(cur, src)
+	for dist := d[src]; dist > 0 && len(cur) > 0; dist-- {
+		next = next[:0]
+		for _, n := range cur {
+			share := *reach(n)
+			if share == 0 {
+				continue
+			}
+			ncand := 0
+			for _, cand := range g.Out(n) {
+				cl := g.Link(cand)
+				if cl.Up && cl.Bps > 0 && d[cl.To] == dist-1 {
+					ncand++
+				}
+			}
+			if ncand == 0 {
+				// Degenerate DAG (e.g. a zero-capacity candidate was the only
+				// way down): drop the buffered fractional charges and fall
+				// back to the sampled path for the whole flow.
+				a.level[0], a.level[1], a.pend = cur[:0], next[:0], pend[:0]
+				a.chargeSampled(f)
+				return
+			}
+			part := share / float64(ncand)
+			for _, cand := range g.Out(n) {
+				cl := g.Link(cand)
+				if cl.Up && cl.Bps > 0 && d[cl.To] == dist-1 {
+					pend = append(pend, pendCharge{cand, part * f.Bytes})
+					to := reach(cl.To)
+					if *to == 0 {
+						next = append(next, cl.To)
+					}
+					*to += part
+				}
+			}
+			*reach(n) = 0 // consumed; guards against revisits within a level
+		}
+		cur, next = next, cur
+	}
+	for _, pc := range pend {
+		a.add(pc.lid, pc.bytes)
+	}
+	a.level[0], a.level[1], a.pend = cur[:0], next[:0], pend[:0]
+}
+
 // Makespan implements Backend.
 func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 	var total float64
@@ -58,7 +206,6 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 			continue
 		}
 		a.reset(len(g.Links))
-		epoch := a.epoch
 		var phase float64
 		for _, f := range fs {
 			if f.Bytes < 0 {
@@ -82,12 +229,12 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 					bottleneck = cap
 				}
 				latency += l.Latency
-				if a.stamp[lid] != epoch {
-					a.stamp[lid] = epoch
-					a.load[lid] = 0
-					a.touched = append(a.touched, lid)
+				if !a.ecmp {
+					a.add(lid, f.Bytes)
 				}
-				a.load[lid] += f.Bytes
+			}
+			if a.ecmp && len(f.Path) > 0 {
+				a.chargeECMP(g, f)
 			}
 			// Serialization bound for this flow (empty path: Bytes/Inf = 0).
 			t := f.Start + latency + f.Bytes/bottleneck

@@ -58,8 +58,9 @@ type Backend interface {
 const DefaultName = "fluid"
 
 // Names lists the registered backend names in fidelity order (coarsest
-// last).
-func Names() []string { return []string{"fluid", "packet", "analytic"} }
+// last). "analytic-ecmp" is the analytic bound with fractional ECMP load
+// spreading instead of sampled-path charging (see NewAnalyticECMP).
+func Names() []string { return []string{"fluid", "packet", "analytic", "analytic-ecmp"} }
 
 // New resolves a backend by registry name. The empty string selects the
 // fluid default.
@@ -73,6 +74,17 @@ func New(name string) (Backend, error) {
 // backend is a configuration error rather than a silent no-op; "" and
 // "fixed" are accepted everywhere.
 func NewWithCC(name, cc string) (Backend, error) {
+	return NewWithWorkers(name, cc, 0)
+}
+
+// NewWithWorkers resolves a backend by registry name with a packet-backend
+// congestion controller and shard-parallelism bound. Only the packet
+// backend runs an event loop, so workers is a no-op on the other
+// substrates (they are single-pass already); on the packet backend 0 or 1
+// keeps the serial loop, > 1 bounds the concurrently simulated flow shards
+// and < 0 selects GOMAXPROCS. Per-flow results are byte-identical at every
+// worker count.
+func NewWithWorkers(name, cc string, workers int) (Backend, error) {
 	if cc != "" {
 		if err := packetsim.ValidCC(cc); err != nil {
 			return nil, fmt.Errorf("netsim: %w", err)
@@ -89,9 +101,11 @@ func NewWithCC(name, cc string) (Backend, error) {
 	case "", "fluid":
 		return NewFluid(), nil
 	case "packet":
-		return NewPacket(PacketConfig{CC: cc}), nil
+		return NewPacket(PacketConfig{CC: cc, Workers: workers}), nil
 	case "analytic":
 		return NewAnalytic(), nil
+	case "analytic-ecmp":
+		return NewAnalyticECMP(), nil
 	}
 	return nil, fmt.Errorf("netsim: unknown backend %q (have %v)", name, Names())
 }

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"runtime"
+
 	"mixnet/internal/eventsim"
 	"mixnet/internal/packetsim"
 	"mixnet/internal/topo"
@@ -19,17 +21,35 @@ type PacketConfig struct {
 	// (default, the deterministic constant window), "dcqcn" (ECN-marking)
 	// or "swift" (delay-based). See packetsim.CCNames.
 	CC string
+	// Workers bounds the event loops running concurrently: each phase is
+	// partitioned into connected components over shared links and the
+	// components simulate in parallel, with byte-identical per-flow finish
+	// times regardless of the worker count. 0 or 1 (the default) keeps the
+	// historical single serial event loop; a negative value selects
+	// GOMAXPROCS. The pool never exceeds a phase's component count.
+	Workers int
 }
 
 // Packet is the event-driven packet-level backend (internal/packetsim,
-// htsim-style). It reuses one packetsim.Sim — event-queue storage and the
-// per-link busy array survive across phases — plus a flow-conversion
-// buffer, so repeated calls don't rebuild per-graph state from scratch.
+// htsim-style). The serial path reuses one packetsim.Sim — event-queue
+// storage and the per-link busy array survive across phases — plus a
+// flow-conversion buffer, so repeated calls don't rebuild per-graph state
+// from scratch. With Workers > 1 each phase is partitioned into link-disjoint
+// shards that replay on a pool of reusable event loops (one per worker) and
+// merge deterministically.
 type Packet struct {
-	cfg  packetsim.Config
-	sim  *packetsim.Sim
-	buf  []packetsim.Flow
-	ptrs []*packetsim.Flow
+	cfg     packetsim.Config
+	workers int
+	sim     *packetsim.Sim
+	buf     []packetsim.Flow
+	ptrs    []*packetsim.Flow
+
+	// sharded-path state, allocated on first parallel use.
+	part    *Partitioner
+	sharded *packetsim.ShardedSim
+	shards  [][]*packetsim.Flow // per-shard views into buf
+	phaseOf []int               // shard index -> phase index
+	order   []*Flow             // netsim flows in partition order, for Finish copy-back
 }
 
 // NewPacket returns a reusable packet backend.
@@ -37,45 +57,146 @@ func NewPacket(cfg PacketConfig) *Packet {
 	if cfg.MTU <= 0 {
 		cfg.MTU = 16384
 	}
+	if cfg.Workers < 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	return &Packet{
-		cfg: packetsim.Config{MTU: cfg.MTU, Window: cfg.Window, CC: cfg.CC},
-		sim: packetsim.NewSim(),
+		cfg:     packetsim.Config{MTU: cfg.MTU, Window: cfg.Window, CC: cfg.CC},
+		workers: cfg.Workers,
+		sim:     packetsim.NewSim(),
 	}
 }
+
+// Workers returns the resolved worker bound (0 or 1 = serial).
+func (p *Packet) Workers() int { return p.workers }
 
 // Name implements Backend.
 func (*Packet) Name() string { return "packet" }
 
 // Makespan implements Backend: each phase is segmented into packets and
-// replayed on the reusable event-driven simulator.
+// replayed on the reusable event-driven simulator — one serial loop by
+// default, or Workers parallel loops with Workers > 1.
 func (p *Packet) Makespan(g *topo.Graph, phases Phases) (float64, error) {
+	if p.workers > 1 {
+		return p.shardedMakespan(g, phases)
+	}
 	var total float64
 	for _, fs := range phases {
 		if len(fs) == 0 {
 			continue
 		}
-		if cap(p.buf) < len(fs) {
-			p.buf = make([]packetsim.Flow, len(fs))
-			p.ptrs = make([]*packetsim.Flow, len(fs))
-		}
-		buf, ptrs := p.buf[:len(fs)], p.ptrs[:len(fs)]
-		for i, f := range fs {
-			buf[i] = packetsim.Flow{
-				ID:    f.ID,
-				Path:  f.Path,
-				Bytes: int64(f.Bytes + 0.5),
-				Start: eventsim.FromSeconds(f.Start),
-			}
-			ptrs[i] = &buf[i]
-		}
-		res, err := p.sim.Simulate(g, ptrs, p.cfg)
+		ms, err := p.serialPhase(g, fs)
 		if err != nil {
 			return 0, err
 		}
-		for i, f := range fs {
-			f.Finish = buf[i].Finish.Seconds()
+		total += ms
+	}
+	return total, nil
+}
+
+// convert fills buf[i]/ptrs[i] from a netsim flow.
+func (p *Packet) convert(i int, f *Flow) {
+	p.buf[i] = packetsim.Flow{
+		ID:    f.ID,
+		Path:  f.Path,
+		Bytes: int64(f.Bytes + 0.5),
+		Start: eventsim.FromSeconds(f.Start),
+	}
+	p.ptrs[i] = &p.buf[i]
+}
+
+// serialPhase runs one phase on the single reusable event loop — the
+// historical byte-identical packet backend.
+func (p *Packet) serialPhase(g *topo.Graph, fs []*Flow) (float64, error) {
+	if cap(p.buf) < len(fs) {
+		p.buf = make([]packetsim.Flow, len(fs))
+		p.ptrs = make([]*packetsim.Flow, len(fs))
+	}
+	p.buf, p.ptrs = p.buf[:len(fs)], p.ptrs[:len(fs)]
+	for i, f := range fs {
+		p.convert(i, f)
+	}
+	res, err := p.sim.Simulate(g, p.ptrs, p.cfg)
+	if err != nil {
+		return 0, err
+	}
+	for i, f := range fs {
+		f.Finish = p.buf[i].Finish.Seconds()
+	}
+	return res.Makespan.Seconds(), nil
+}
+
+// shardedMakespan partitions every phase into link-disjoint components and
+// runs all (phase, shard) jobs on one worker pool. Phases are independent
+// simulations — the serial loop resets all state between them and sums
+// their makespans — so a phase that doesn't decompose can still overlap
+// other phases' shards instead of serialising the whole call. Per-flow
+// finish times (phase-relative, as always) and the summed makespan are
+// byte-identical to the serial loop.
+func (p *Packet) shardedMakespan(g *topo.Graph, phases Phases) (float64, error) {
+	if p.part == nil {
+		p.part = NewPartitioner()
+		p.sharded = packetsim.NewShardedSim()
+	}
+	nFlows := 0
+	for _, fs := range phases {
+		nFlows += len(fs)
+	}
+	if nFlows == 0 {
+		return 0, nil
+	}
+	if cap(p.buf) < nFlows {
+		p.buf = make([]packetsim.Flow, nFlows)
+		p.ptrs = make([]*packetsim.Flow, nFlows)
+	}
+	if cap(p.order) < nFlows {
+		p.order = make([]*Flow, nFlows)
+	}
+	p.buf, p.ptrs = p.buf[:nFlows], p.ptrs[:nFlows]
+	order := p.order[:nFlows]
+	pshards, phaseOf := p.shards[:0], p.phaseOf[:0]
+	i := 0
+	for pi, fs := range phases {
+		if len(fs) == 0 {
+			continue
 		}
-		total += res.Makespan.Seconds()
+		// Shard views are consumed (converted into buf ranges) before the
+		// next Partition call invalidates them.
+		for _, shard := range p.part.Partition(len(g.Links), fs) {
+			start := i
+			for _, f := range shard {
+				p.convert(i, f)
+				order[i] = f
+				i++
+			}
+			pshards = append(pshards, p.ptrs[start:i:i])
+			phaseOf = append(phaseOf, pi)
+		}
+	}
+	p.shards, p.phaseOf = pshards, phaseOf
+	res, err := p.sharded.SimulateEach(g, pshards, p.cfg, p.workers)
+	if err != nil {
+		return 0, err
+	}
+	// Sum per-phase maxima in phase order, mirroring the serial loop's
+	// "convert each phase's makespan to seconds, then add" float sequence.
+	var total float64
+	var phaseMax eventsim.Time
+	cur := -1
+	for k, r := range res {
+		if phaseOf[k] != cur {
+			if cur >= 0 {
+				total += phaseMax.Seconds()
+			}
+			phaseMax, cur = 0, phaseOf[k]
+		}
+		if r.Makespan > phaseMax {
+			phaseMax = r.Makespan
+		}
+	}
+	total += phaseMax.Seconds()
+	for i, f := range order {
+		f.Finish = p.buf[i].Finish.Seconds()
 	}
 	return total, nil
 }

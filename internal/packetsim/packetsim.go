@@ -28,8 +28,18 @@ type Config struct {
 	// "swift". See CCNames.
 	CC string
 	// ECNThresholdPkts is the output-queue depth, in full-MTU serialisation
-	// times, above which a link ECN-marks a packet (dcqcn; default 8).
+	// times at the reference link speed, above which a link ECN-marks a
+	// packet (dcqcn; default 8).
 	ECNThresholdPkts int
+	// ECNRefBps is the link speed class the ECN threshold is expressed at:
+	// a link of speed B marks above ECNThresholdPkts * B / ECNRefBps packets
+	// of queueing, i.e. per-link thresholds scale with link speed so every
+	// class marks at the same queueing *delay*. A constant packet-depth
+	// threshold would over-mark fast links (8 packets drain in a fraction of
+	// the time) and under-mark slow ones on heterogeneous fabrics. 0 (the
+	// default) picks the slowest up link in the graph, which reduces to the
+	// historical constant-depth behaviour on homogeneous topologies.
+	ECNRefBps float64
 	// SwiftTargetFactor scales a flow's uncongested one-way delay into the
 	// swift controller's target delay (default 4).
 	SwiftTargetFactor float64
@@ -97,7 +107,7 @@ type sim struct {
 	cc       CongestionControl
 	adaptive bool    // controller reacts to acks: always schedule them
 	marking  bool    // links ECN-mark over-threshold packets
-	ecnBits  float64 // marking threshold numerator: ECNThresholdPkts * MTU * 8
+	ecnDelay float64 // marking threshold as queueing delay in seconds
 	total    int64
 	marks    int64
 }
@@ -147,7 +157,23 @@ func (s *sim) run(flows []*Flow) (Result, error) {
 	s.cc = cc
 	s.adaptive = s.cfg.CC != CCFixed
 	s.marking = s.cfg.CC == CCDCQCN
-	s.ecnBits = float64(s.cfg.ECNThresholdPkts) * float64(s.cfg.MTU*8)
+	if s.marking {
+		// Per-link thresholds scaled to speed class collapse to one uniform
+		// queueing-delay threshold: ECNThresholdPkts full-MTU serialisation
+		// times at the reference speed.
+		ref := s.cfg.ECNRefBps
+		if ref <= 0 {
+			for i := range s.g.Links {
+				l := &s.g.Links[i]
+				if l.Up && l.Bps > 0 && (ref <= 0 || l.Bps < ref) {
+					ref = l.Bps
+				}
+			}
+		}
+		if ref > 0 {
+			s.ecnDelay = float64(s.cfg.ECNThresholdPkts) * float64(s.cfg.MTU*8) / ref
+		}
+	}
 	for _, f := range flows {
 		if f.Bytes < 0 {
 			return Result{}, fmt.Errorf("packetsim: flow %d negative bytes", f.ID)
@@ -249,7 +275,7 @@ func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time, sent eventsi
 	if s.busy[lid] > depart {
 		depart = s.busy[lid]
 	}
-	if s.marking && !marked && (depart-t).Seconds() > s.ecnBits/l.Bps {
+	if s.marking && !marked && (depart-t).Seconds() > s.ecnDelay {
 		marked = true
 		s.marks++
 	}

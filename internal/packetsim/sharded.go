@@ -1,0 +1,131 @@
+package packetsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mixnet/internal/topo"
+)
+
+// ShardedSim runs disjoint flow shards on parallel event loops. Shards must
+// not share links (see netsim's connected-component partitioner): under that
+// invariant every shard's event schedule is independent of the others', so
+// per-flow finish times and the merged result are byte-identical to running
+// all flows on one serial event loop, regardless of the worker count.
+//
+// Each worker owns one reusable Sim whose event-queue storage and busy array
+// survive across calls, mirroring the serial engine's reuse discipline. A
+// ShardedSim must not be used from multiple goroutines concurrently (its
+// internal workers are the concurrency).
+type ShardedSim struct {
+	sims []*Sim
+	res  []Result
+	errs []error
+}
+
+// NewShardedSim returns an empty reusable sharded simulator.
+func NewShardedSim() *ShardedSim { return &ShardedSim{} }
+
+// Workers resolves a worker-count request against a shard count: n <= 0
+// selects GOMAXPROCS, and the pool never exceeds the number of shards.
+func Workers(n, shards int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > shards {
+		n = shards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// grow ensures at least n worker Sims exist.
+func (ss *ShardedSim) grow(n int) {
+	for len(ss.sims) < n {
+		ss.sims = append(ss.sims, NewSim())
+	}
+}
+
+// SimulateEach runs every shard to completion and returns the per-shard
+// results, in shard order. workers bounds the number of concurrently
+// running event loops; workers <= 1 runs the shards sequentially on one
+// reusable Sim. Flow Finish fields are written in place exactly as the
+// serial simulator would write them, and every shard starts from virtual
+// time 0 — so shards may come from different phases of a phased workload
+// (phases reset all simulator state anyway) and overlap on the pool.
+//
+// The returned slice is owned by the ShardedSim and valid until the next
+// call. When several shards fail, the error of the lowest-indexed shard
+// wins, so error reporting is independent of scheduling.
+func (ss *ShardedSim) SimulateEach(g *topo.Graph, shards [][]*Flow, cfg Config, workers int) ([]Result, error) {
+	n := len(shards)
+	if n == 0 {
+		return ss.res[:0], nil
+	}
+	if cap(ss.res) < n {
+		ss.res = make([]Result, n)
+		ss.errs = make([]error, n)
+	}
+	res, errs := ss.res[:n], ss.errs[:n]
+	workers = Workers(workers, n)
+	if workers <= 1 {
+		ss.grow(1)
+		for i, fs := range shards {
+			res[i], errs[i] = ss.sims[0].Simulate(g, fs, cfg)
+		}
+		return res, firstError(errs)
+	}
+	ss.grow(workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		s := ss.sims[w]
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res[i], errs[i] = s.Simulate(g, shards[i], cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	return res, firstError(errs)
+}
+
+// Simulate runs every shard and merges the results into one: the makespan
+// is the maximum over shards and the packet/event/mark counters sum —
+// byte-identical to simulating all flows on one serial loop when the shards
+// are link-disjoint.
+func (ss *ShardedSim) Simulate(g *topo.Graph, shards [][]*Flow, cfg Config, workers int) (Result, error) {
+	res, err := ss.SimulateEach(g, shards, cfg, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	var out Result
+	for _, r := range res {
+		if r.Makespan > out.Makespan {
+			out.Makespan = r.Makespan
+		}
+		out.Packets += r.Packets
+		out.Events += r.Events
+		out.Marks += r.Marks
+	}
+	return out, nil
+}
+
+// firstError returns the lowest-indexed non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package packetsim
+
+import (
+	"testing"
+
+	"mixnet/internal/eventsim"
+	"mixnet/internal/topo"
+)
+
+// disjointIncasts builds nShards link-disjoint incast groups on one graph
+// and returns the flows both flat (serial order) and grouped per shard.
+func disjointIncasts(t *testing.T, nShards, elephants, shorts int) (*topo.Graph, []*Flow, [][]*Flow) {
+	t.Helper()
+	g := topo.NewGraph()
+	var flat []*Flow
+	var shards [][]*Flow
+	id := 0
+	for s := 0; s < nShards; s++ {
+		dst := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+		sw := g.AddNode(topo.KindTor, "", -1, -1, -1)
+		g.AddDuplex(sw, dst, 8e9, 1e-6)
+		var shard []*Flow
+		add := func(bytes int64, start eventsim.Time) {
+			src := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+			g.AddDuplex(src, sw, 8e9, 1e-6)
+			rt, err := topo.NewBFSRouter(g).Route(src, dst, uint64(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := &Flow{ID: id, Path: rt, Bytes: bytes, Start: start}
+			flat = append(flat, f)
+			shard = append(shard, f)
+			id++
+		}
+		for i := 0; i < elephants; i++ {
+			add(int64(4+s)<<20, 0)
+		}
+		for i := 0; i < shorts; i++ {
+			add(64<<10, eventsim.FromSeconds(1e-3))
+		}
+		shards = append(shards, shard)
+	}
+	return g, flat, shards
+}
+
+// TestShardedMatchesSerial is the core soundness property: link-disjoint
+// shards simulated on parallel event loops must reproduce the serial
+// single-loop results bit-for-bit — makespan, counters and per-flow finish
+// times — for every congestion controller and worker count.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, cc := range CCNames() {
+		t.Run(cc, func(t *testing.T) {
+			cfg := Config{CC: cc}
+			g, flat, _ := disjointIncasts(t, 4, 3, 2)
+			want, err := Simulate(g, flat, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantFinish := make([]eventsim.Time, len(flat))
+			for i, f := range flat {
+				wantFinish[i] = f.Finish
+			}
+			ss := NewShardedSim()
+			for _, workers := range []int{1, 2, 3, 8} {
+				g2, flat2, shards2 := disjointIncasts(t, 4, 3, 2)
+				got, err := ss.Simulate(g2, shards2, cfg, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Makespan != want.Makespan || got.Packets != want.Packets ||
+					got.Marks != want.Marks || got.Events != want.Events {
+					t.Errorf("workers=%d: %+v, want %+v", workers, got, want)
+				}
+				for i, f := range flat2 {
+					if f.Finish != wantFinish[i] {
+						t.Fatalf("workers=%d flow %d: Finish %v, serial %v", workers, f.ID, f.Finish, wantFinish[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDeterministicAcrossRuns: a reused ShardedSim must reproduce
+// identical results run over run at a fixed worker count.
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{CC: CCDCQCN}
+	ss := NewShardedSim()
+	g, flat, shards := disjointIncasts(t, 3, 4, 1)
+	first, err := ss.Simulate(g, shards, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstFinish := make([]eventsim.Time, len(flat))
+	for i, f := range flat {
+		firstFinish[i] = f.Finish
+	}
+	for run := 0; run < 3; run++ {
+		got, err := ss.Simulate(g, shards, cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("run %d: %+v, want %+v", run, got, first)
+		}
+		for i, f := range flat {
+			if f.Finish != firstFinish[i] {
+				t.Errorf("run %d flow %d: Finish %v, want %v", run, i, f.Finish, firstFinish[i])
+			}
+		}
+	}
+}
+
+// TestShardedErrorDeterministic: when several shards carry invalid flows,
+// the lowest-indexed shard's error surfaces regardless of worker count.
+func TestShardedErrorDeterministic(t *testing.T) {
+	g, _, shards := disjointIncasts(t, 4, 2, 0)
+	shards[1][0].Bytes = -1
+	shards[3][0].Bytes = -5
+	ss := NewShardedSim()
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		_, err := ss.Simulate(g, shards, Config{}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid flow accepted", workers)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+}
+
+// TestShardedMergeAllocsStable guards the shard merge path: a reused
+// ShardedSim's per-call allocations must not grow run over run, serial or
+// parallel.
+func TestShardedMergeAllocsStable(t *testing.T) {
+	g, _, shards := disjointIncasts(t, 4, 3, 1)
+	ss := NewShardedSim()
+	for _, workers := range []int{1, 4} {
+		run := func() {
+			if _, err := ss.Simulate(g, shards, Config{}, workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm-up: grow the result arenas and per-worker Sims
+		first := testing.AllocsPerRun(5, run)
+		second := testing.AllocsPerRun(5, run)
+		if second > first {
+			t.Errorf("workers=%d: allocs grew run over run: %v -> %v", workers, first, second)
+		}
+	}
+}
+
+// TestShardedEmpty: zero shards is a no-op.
+func TestShardedEmpty(t *testing.T) {
+	g := topo.NewGraph()
+	res, err := NewShardedSim().Simulate(g, nil, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != (Result{}) {
+		t.Errorf("empty shard set: %+v", res)
+	}
+}
+
+// TestWorkersResolution pins the pool-width rules shared with the netsim
+// packet backend.
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d, want 3", got)
+	}
+	if got := Workers(0, 5); got < 1 {
+		t.Errorf("Workers(0,5) = %d, want >= 1", got)
+	}
+	if got := Workers(-1, 100); got < 1 {
+		t.Errorf("Workers(-1,100) = %d, want >= 1", got)
+	}
+	if got := Workers(2, 0); got != 1 {
+		t.Errorf("Workers(2,0) = %d, want 1", got)
+	}
+}
+
+// TestECNThresholdScalesWithLinkSpeed: on a heterogeneous path the marking
+// threshold must scale with link speed class. With the reference at the
+// slowest class (the default), a fast first hop tolerates its startup burst
+// — the same queueing *delay* any slow link tolerates — whereas expressing
+// the same packet depth at the fast class (ECNRefBps = fast) over-marks
+// both hops.
+func TestECNThresholdScalesWithLinkSpeed(t *testing.T) {
+	build := func() (*topo.Graph, []*Flow) {
+		g := topo.NewGraph()
+		src := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+		mid := g.AddNode(topo.KindTor, "", -1, -1, -1)
+		dst := g.AddNode(topo.KindNIC, "", -1, -1, -1)
+		g.AddDuplex(src, mid, 64e9, 1e-6) // fast class
+		g.AddDuplex(mid, dst, 8e9, 1e-6)  // slow class
+		rt, err := topo.NewBFSRouter(g).Route(src, dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, []*Flow{{ID: 1, Path: rt, Bytes: 16 << 20}}
+	}
+	marks := func(refBps float64) int64 {
+		g, flows := build()
+		res, err := Simulate(g, flows, Config{CC: CCDCQCN, ECNRefBps: refBps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Marks
+	}
+	auto := marks(0)       // reference resolves to the slowest class (8e9)
+	slowRef := marks(8e9)  // explicit slow reference: identical
+	fastRef := marks(64e9) // constant depth at the fast class: over-marks
+	if auto != slowRef {
+		t.Errorf("auto reference marks %d != explicit slow-class marks %d", auto, slowRef)
+	}
+	if fastRef <= auto {
+		t.Errorf("fast-class reference marks %d, speed-scaled %d: scaling should reduce marking on heterogeneous links",
+			fastRef, auto)
+	}
+	t.Logf("marks: speed-scaled %d, constant-depth-at-fast-class %d", auto, fastRef)
+}

@@ -1,0 +1,377 @@
+// Package scenario unifies workload execution across the simulation
+// backends: the same named scenarios — the synthetic gate, recorded-trace
+// replay (internal/trace) and the §5.4 failure drills (internal/failure) —
+// run unchanged on the fluid, packet (optionally sharded across Workers
+// event loops) or analytic substrate. Before this runner existed only the
+// synthetic gate had been exercised at packet fidelity; now every scenario
+// in the matrix is a one-call packet-level run, and cross-backend fidelity
+// comparisons feed off identical workloads.
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"mixnet/internal/failure"
+	"mixnet/internal/moe"
+	"mixnet/internal/ocs"
+	"mixnet/internal/parallel"
+	"mixnet/internal/topo"
+	"mixnet/internal/trace"
+	"mixnet/internal/trainsim"
+)
+
+// Config describes one scenario run. The zero value simulates "Mixtral
+// 8x7B" on a MixNet fabric at 400 Gbps over the fluid backend.
+type Config struct {
+	// Model is a moe registry name (default "Mixtral 8x7B").
+	Model string
+	// Fabric selects the interconnect by CLI name: "fat-tree", "oversub",
+	// "rail", "topoopt" or "mixnet" (the default — the only fabric with
+	// runtime reconfiguration, so every drill in the matrix is meaningful).
+	Fabric string
+	// Backend is the netsim substrate: "fluid" (default), "packet",
+	// "analytic" or "analytic-ecmp".
+	Backend string
+	// CC is the packet backend's congestion controller.
+	CC string
+	// Workers bounds the packet backend's parallel shard event loops
+	// (0/1 = serial, < 0 = GOMAXPROCS).
+	Workers int
+	// LinkGbps is the NIC line rate in Gbit/s (default 400).
+	LinkGbps float64
+	// DP replicates the model (default 1).
+	DP int
+	// Iterations per engine run (default 2).
+	Iterations int
+	// Seed drives the synthetic gate (and the recorded trace for replay).
+	Seed int64
+	// FirstA2A is "block" (default), "reuse" or "copilot".
+	FirstA2A string
+	// ReconfigDelaySec is the OCS reconfiguration latency (default 25 ms).
+	ReconfigDelaySec float64
+	// Trace optionally replaces the self-recorded trace in the "trace"
+	// scenario with an external JSON-Lines recording.
+	Trace io.Reader
+}
+
+// Result summarises one scenario run on one backend.
+type Result struct {
+	Scenario, Backend string
+	GPUs, Servers     int
+	Iterations        int
+	// MeanIterTime is the warm mean iteration time of the (faulty, for
+	// drills) engine in seconds.
+	MeanIterTime float64
+	// BaselineIterTime is the clean engine's mean for failure drills
+	// (0 for non-drill scenarios).
+	BaselineIterTime float64
+	// Overhead is MeanIterTime/BaselineIterTime - 1 for failure drills.
+	Overhead float64
+}
+
+// IsDrill reports whether the result came from a failure-injection scenario.
+func (r Result) IsDrill() bool { return r.BaselineIterTime > 0 }
+
+// Scenario names, in matrix order.
+const (
+	Synthetic  = "synthetic"   // gate-simulator-driven training iterations
+	TraceName  = "trace"       // recorded-trace replay through internal/trace
+	FailNIC    = "fail-nic"    // one EPS NIC down on a group server
+	FailGPU    = "fail-gpu"    // one GPU remapped to a backup server
+	FailServer = "fail-server" // whole server replaced from the backup pool
+)
+
+// Names lists the runnable scenarios in matrix order.
+func Names() []string {
+	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = moe.Mixtral8x7B.Name
+	}
+	if c.Fabric == "" {
+		c.Fabric = "mixnet"
+	}
+	if c.LinkGbps == 0 {
+		c.LinkGbps = 400
+	}
+	if c.DP == 0 {
+		c.DP = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 2
+	}
+	if c.FirstA2A == "" {
+		c.FirstA2A = "block"
+	}
+	if c.ReconfigDelaySec == 0 {
+		c.ReconfigDelaySec = 25e-3
+	}
+	return c
+}
+
+// modelPlan resolves the model and its training plan with DP applied.
+func modelPlan(cfg Config) (moe.Model, moe.TrainPlan, error) {
+	m, ok := moe.Models()[cfg.Model]
+	if !ok {
+		return moe.Model{}, moe.TrainPlan{}, fmt.Errorf("scenario: unknown model %q", cfg.Model)
+	}
+	plan, ok := moe.SimPlans()[cfg.Model]
+	if !ok {
+		plan, ok = moe.Table1Plans()[cfg.Model]
+	}
+	if !ok {
+		return moe.Model{}, moe.TrainPlan{}, fmt.Errorf("scenario: model %q has no training plan", cfg.Model)
+	}
+	plan.DP = cfg.DP
+	return m, plan, nil
+}
+
+// Fabrics maps the CLI fabric names to topology kinds.
+func Fabrics() map[string]topo.FabricKind {
+	return map[string]topo.FabricKind{
+		"fat-tree": topo.FabricFatTree,
+		"oversub":  topo.FabricOverSubFatTree,
+		"rail":     topo.FabricRailOptimized,
+		"topoopt":  topo.FabricTopoOpt,
+		"mixnet":   topo.FabricMixNet,
+	}
+}
+
+// buildCluster constructs the configured fabric sized for plan.
+func buildCluster(cfg Config, plan moe.TrainPlan) (*topo.Cluster, error) {
+	kind, ok := Fabrics()[cfg.Fabric]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown fabric %q", cfg.Fabric)
+	}
+	spec := topo.DefaultSpec(plan.GPUs()/8, cfg.LinkGbps*topo.Gbps)
+	spec.RegionServers = parallel.RegionServersPerEPGroup(plan, spec.GPUsPerServer)
+	switch kind {
+	case topo.FabricOverSubFatTree:
+		spec.Oversub = 3
+		return topo.BuildOverSubFatTree(spec), nil
+	case topo.FabricRailOptimized:
+		return topo.BuildRailOptimized(spec), nil
+	case topo.FabricTopoOpt:
+		return topo.BuildTopoOpt(spec), nil
+	case topo.FabricMixNet:
+		return topo.BuildMixNet(spec), nil
+	default:
+		return topo.BuildFatTree(spec), nil
+	}
+}
+
+// NewEngine builds the training engine a Config describes, defaults
+// applied — the single construction path shared by mixnet.Simulate and the
+// scenario runner, so the two entry points cannot drift apart on cluster
+// sizing, region spans, or OCS wiring.
+func NewEngine(cfg Config) (*trainsim.Engine, error) {
+	return newEngine(cfg.withDefaults(), nil)
+}
+
+// newEngine builds one training engine for cfg, optionally replacing the
+// synthetic gate with another iteration source.
+func newEngine(cfg Config, src trainsim.IterationSource) (*trainsim.Engine, error) {
+	m, plan, err := modelPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := buildCluster(cfg, plan)
+	if err != nil {
+		return nil, err
+	}
+	opts := trainsim.Options{
+		GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC,
+		Workers: cfg.Workers, Source: src,
+	}
+	if cfg.Fabric == "mixnet" {
+		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
+		switch cfg.FirstA2A {
+		case "block":
+			opts.FirstA2A = trainsim.FirstA2ABlock
+		case "reuse":
+			opts.FirstA2A = trainsim.FirstA2AReuse
+		case "copilot":
+			opts.FirstA2A = trainsim.FirstA2ACopilot
+		default:
+			return nil, fmt.Errorf("scenario: unknown FirstA2A mode %q", cfg.FirstA2A)
+		}
+	}
+	return trainsim.New(m, plan, c, opts)
+}
+
+// recordTrace runs the synthetic gate alone and serialises cfg.Iterations
+// iterations through internal/trace, returning a replayable source — the
+// full capture → JSON Lines → replay round trip, not a shortcut through the
+// in-memory structures.
+func recordTrace(cfg Config) (*trace.ReplaySource, error) {
+	m, plan, err := modelPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gate := moe.NewGateSim(m, plan, moe.DefaultGateConfig(cfg.Seed))
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for i := 0; i < cfg.Iterations; i++ {
+		if err := w.WriteIteration(gate.Next()); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return trace.Load(&buf)
+}
+
+// runEngine builds and runs one engine, returning its stats-derived result.
+func runEngine(cfg Config, name string, src trainsim.IterationSource) (Result, error) {
+	e, err := newEngine(cfg, src)
+	if err != nil {
+		return Result{}, err
+	}
+	stats, err := e.Run(cfg.Iterations)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	return Result{
+		Scenario: name, Backend: backendName(cfg),
+		GPUs: e.Cluster.GPUCount(), Servers: len(e.Cluster.Servers),
+		Iterations:   cfg.Iterations,
+		MeanIterTime: trainsim.MeanIterTime(stats),
+	}, nil
+}
+
+func backendName(cfg Config) string {
+	if cfg.Backend == "" {
+		return "fluid"
+	}
+	return cfg.Backend
+}
+
+// drill measures a failure scenario: a clean engine and a faulty engine are
+// built from identical configuration (same seed, so identical gate
+// dynamics), the injector faults the second before running, and the result
+// carries both means plus the §5.4 overhead metric. base, when non-nil,
+// supplies a previously measured clean run of the same configuration (e.g.
+// the matrix's synthetic result) so batched drills skip re-simulating it.
+func drill(cfg Config, name string, base *Result, inject func(e *trainsim.Engine) (failure.Restore, error)) (Result, error) {
+	var clean Result
+	if base != nil {
+		clean = *base
+		clean.Scenario = name
+	} else {
+		var err error
+		clean, err = runEngine(cfg, name, nil)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	faulty, err := newEngine(cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	restore, err := inject(faulty)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: inject: %w", name, err)
+	}
+	defer restore()
+	stats, err := faulty.Run(cfg.Iterations)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	res := clean
+	res.BaselineIterTime = clean.MeanIterTime
+	res.MeanIterTime = trainsim.MeanIterTime(stats)
+	if res.BaselineIterTime > 0 {
+		res.Overhead = res.MeanIterTime/res.BaselineIterTime - 1
+	}
+	return res, nil
+}
+
+// Run executes one named scenario under cfg.
+func Run(name string, cfg Config) (Result, error) {
+	return run(name, cfg.withDefaults(), nil)
+}
+
+// run executes one scenario; base optionally supplies a memoized clean run
+// of the same configuration for the failure drills.
+func run(name string, cfg Config, base *Result) (Result, error) {
+	switch name {
+	case Synthetic:
+		return runEngine(cfg, name, nil)
+	case TraceName:
+		var src *trace.ReplaySource
+		var err error
+		if cfg.Trace != nil {
+			src, err = trace.Load(cfg.Trace)
+		} else {
+			src, err = recordTrace(cfg)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		return runEngine(cfg, name, src)
+	case FailNIC:
+		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
+			return failure.FailEPSNICs(e.Cluster, 0, 1)
+		})
+	case FailGPU:
+		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
+			return failure.FailGPU(e, 0, e.Plan.TP-1, len(e.Cluster.Servers)-1)
+		})
+	case FailServer:
+		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
+			return failure.FailServer(e, 0, len(e.Cluster.Servers)-1)
+		})
+	}
+	return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}
+
+// RunMatrix runs every (scenario, backend) combination and returns results
+// in scenario-major order. Empty slices default to the full scenario set
+// and the configured backend. The clean engine run is measured once per
+// backend and shared: the synthetic scenario's result (or an on-demand
+// equivalent) is the failure drills' baseline, so N drills cost N faulty
+// runs plus one clean run instead of N+1 clean runs.
+func RunMatrix(scenarios, backends []string, cfg Config) ([]Result, error) {
+	if len(scenarios) == 0 {
+		scenarios = Names()
+	}
+	if len(backends) == 0 {
+		backends = []string{cfg.Backend}
+	}
+	isDrill := func(name string) bool {
+		return name == FailNIC || name == FailGPU || name == FailServer
+	}
+	clean := map[string]*Result{} // backend -> memoized clean run
+	out := make([]Result, 0, len(scenarios)*len(backends))
+	for _, sc := range scenarios {
+		for _, b := range backends {
+			c := cfg
+			c.Backend = b
+			c = c.withDefaults()
+			base := clean[b]
+			if isDrill(sc) && base == nil {
+				r, err := runEngine(c, Synthetic, nil)
+				if err != nil {
+					return out, fmt.Errorf("%s/%s: baseline: %w", sc, backendName(c), err)
+				}
+				base = &r
+				clean[b] = base
+			}
+			r, err := run(sc, c, base)
+			if err != nil {
+				return out, fmt.Errorf("%s/%s: %w", sc, backendName(c), err)
+			}
+			if sc == Synthetic && clean[b] == nil {
+				memo := r
+				clean[b] = &memo
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// quickCfg keeps runner tests cheap: the fluid substrate at a small
+// iteration count (cluster size follows the model plan: 128 GPUs).
+func quickCfg() Config {
+	return Config{Seed: 7, Iterations: 2}
+}
+
+func TestSyntheticScenario(t *testing.T) {
+	r, err := Run(Synthetic, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != Synthetic || r.Backend != "fluid" {
+		t.Errorf("result labels %q/%q", r.Scenario, r.Backend)
+	}
+	if r.MeanIterTime <= 0 || math.IsNaN(r.MeanIterTime) {
+		t.Errorf("mean iteration time %v", r.MeanIterTime)
+	}
+	if r.GPUs != 128 || r.Servers != 16 {
+		t.Errorf("cluster %d GPUs / %d servers, want 128/16", r.GPUs, r.Servers)
+	}
+	if r.IsDrill() {
+		t.Error("synthetic scenario flagged as a drill")
+	}
+}
+
+// TestTraceReplayMatchesSynthetic: the trace scenario records the synthetic
+// gate with the same seed and replays it through internal/trace's JSON
+// round trip, so its mean iteration time must equal the synthetic run's to
+// float precision.
+func TestTraceReplayMatchesSynthetic(t *testing.T) {
+	synth, err := Run(Synthetic, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Run(TraceName, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replay.MeanIterTime-synth.MeanIterTime) > 1e-9*synth.MeanIterTime {
+		t.Errorf("trace replay mean %.9fs, synthetic %.9fs", replay.MeanIterTime, synth.MeanIterTime)
+	}
+}
+
+func TestFailureDrills(t *testing.T) {
+	for _, name := range []string{FailNIC, FailGPU, FailServer} {
+		t.Run(name, func(t *testing.T) {
+			r, err := Run(name, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.IsDrill() {
+				t.Fatal("drill result missing baseline")
+			}
+			if r.MeanIterTime <= 0 || r.BaselineIterTime <= 0 {
+				t.Fatalf("times %v/%v", r.MeanIterTime, r.BaselineIterTime)
+			}
+			// Failures may cost or (rarely, via replanned circuits) save a
+			// little; a drill that halves iteration time means broken wiring.
+			if r.Overhead < -0.5 || r.Overhead > 5 || math.IsNaN(r.Overhead) {
+				t.Errorf("%s overhead %v implausible", name, r.Overhead)
+			}
+		})
+	}
+}
+
+// TestMatrixAcrossBackends runs the full scenario set on two substrates in
+// one call — the unified-runner property the packet backend inherits.
+func TestMatrixAcrossBackends(t *testing.T) {
+	results, err := RunMatrix(nil, []string{"fluid", "analytic-ecmp"}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Names()) * 2
+	if len(results) != want {
+		t.Fatalf("%d results, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if r.MeanIterTime <= 0 {
+			t.Errorf("%s/%s: mean %v", r.Scenario, r.Backend, r.MeanIterTime)
+		}
+	}
+	// The drills' baseline is the memoized clean run: it must equal the
+	// matrix's own synthetic result for the same backend exactly.
+	synth := map[string]float64{}
+	for _, r := range results {
+		if r.Scenario == Synthetic {
+			synth[r.Backend] = r.MeanIterTime
+		}
+	}
+	for _, r := range results {
+		if r.IsDrill() && r.BaselineIterTime != synth[r.Backend] {
+			t.Errorf("%s/%s: baseline %v != synthetic %v", r.Scenario, r.Backend, r.BaselineIterTime, synth[r.Backend])
+		}
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	if _, err := Run("chaos-monkey", quickCfg()); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	cfg := quickCfg()
+	cfg.Model = "GPT-17"
+	if _, err := Run(Synthetic, cfg); err == nil {
+		t.Error("unknown model accepted")
+	}
+	cfg = quickCfg()
+	cfg.Fabric = "hypercube"
+	if _, err := Run(Synthetic, cfg); err == nil {
+		t.Error("unknown fabric accepted")
+	}
+	cfg = quickCfg()
+	cfg.Backend = "quantum"
+	if _, err := Run(Synthetic, cfg); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

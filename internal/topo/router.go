@@ -100,6 +100,14 @@ func (r *BFSRouter) distField(dst NodeID) []int32 {
 	return d
 }
 
+// DistanceField returns every node's hop distance to dst over up links
+// (-1 = unreachable). The slice is cached per destination, self-invalidates
+// when the graph epoch changes, and is shared with the router: treat it as
+// read-only. It exposes the ECMP structure Route samples from, so callers
+// (e.g. the analytic netsim backend) can enumerate a hop's equal-cost
+// candidates instead of committing to one sampled path.
+func (r *BFSRouter) DistanceField(dst NodeID) []int32 { return r.distField(dst) }
+
 // hash64 mixes inputs with a splitmix64-style finaliser.
 func hash64(x uint64) uint64 {
 	x ^= x >> 30

@@ -66,6 +66,11 @@ type Options struct {
 	// (default), "dcqcn" or "swift". Adaptive controllers require
 	// Backend == "packet".
 	CC string
+	// Workers bounds the packet backend's parallel event loops: each
+	// collective phase is partitioned into link-disjoint flow shards that
+	// simulate concurrently with byte-identical results. 0 or 1 keeps the
+	// serial loop; < 0 selects GOMAXPROCS. Ignored by the other backends.
+	Workers int
 	// Device models OCS reconfiguration latency; nil means the fabric has
 	// no runtime reconfiguration (electrical fabrics, TopoOpt).
 	Device *ocs.Device
@@ -190,7 +195,7 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if opts.Source != nil {
 		source = opts.Source
 	}
-	backend, err := netsim.NewWithCC(opts.Backend, opts.CC)
+	backend, err := netsim.NewWithWorkers(opts.Backend, opts.CC, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("trainsim: %w", err)
 	}

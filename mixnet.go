@@ -27,9 +27,8 @@ import (
 	"mixnet/internal/experiments"
 	"mixnet/internal/moe"
 	"mixnet/internal/netsim"
-	"mixnet/internal/ocs"
 	"mixnet/internal/packetsim"
-	"mixnet/internal/parallel"
+	"mixnet/internal/scenario"
 	"mixnet/internal/topo"
 	"mixnet/internal/trainsim"
 )
@@ -64,6 +63,10 @@ type SimConfig struct {
 	// (default), "dcqcn" or "swift". Adaptive controllers require
 	// Backend == "packet". See SimCongestionControls.
 	CC string
+	// Workers bounds the packet backend's parallel event loops (shards of
+	// link-disjoint flows simulate concurrently, byte-identical results).
+	// 0 or 1 = serial, < 0 = GOMAXPROCS. Ignored by the other backends.
+	Workers int
 	// LinkGbps is the NIC line rate in Gbit/s (default 400).
 	LinkGbps float64
 	// DP scales the cluster by replicating the model (default 1).
@@ -111,58 +114,28 @@ func (c SimConfig) withDefaults() SimConfig {
 	return c
 }
 
-// Simulate runs the configured training simulation.
+// Simulate runs the configured training simulation. Engine construction is
+// shared with internal/scenario's runner, so a plain Simulate and a
+// scenario run of the same configuration execute on identical clusters.
 func Simulate(cfg SimConfig) (Result, error) {
 	cfg = cfg.withDefaults()
-	m, ok := moe.Models()[cfg.Model]
-	if !ok {
-		return Result{}, fmt.Errorf("mixnet: unknown model %q (see ListModels)", cfg.Model)
-	}
-	plan, ok := moe.SimPlans()[cfg.Model]
-	if !ok {
-		plan, ok = moe.Table1Plans()[cfg.Model]
-	}
-	if !ok {
-		return Result{}, fmt.Errorf("mixnet: model %q has no training plan", cfg.Model)
-	}
-	plan.DP = cfg.DP
-
-	spec := topo.DefaultSpec(plan.GPUs()/8, cfg.LinkGbps*topo.Gbps)
-	spec.RegionServers = parallel.RegionServersPerEPGroup(plan, spec.GPUsPerServer)
-	var cluster *topo.Cluster
-	switch cfg.Fabric {
-	case OverSubFatTree:
-		spec.Oversub = 3
-		cluster = topo.BuildOverSubFatTree(spec)
-	case RailOptimized:
-		cluster = topo.BuildRailOptimized(spec)
-	case TopoOpt:
-		cluster = topo.BuildTopoOpt(spec)
-	case MixNet:
-		cluster = topo.BuildMixNet(spec)
-	case FatTree:
-		cluster = topo.BuildFatTree(spec)
-	default:
-		return Result{}, fmt.Errorf("mixnet: fabric %v not supported by Simulate", cfg.Fabric)
-	}
-
-	opts := trainsim.Options{GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC}
-	if cfg.Fabric == MixNet {
-		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
-		switch cfg.FirstA2A {
-		case "block":
-			opts.FirstA2A = trainsim.FirstA2ABlock
-		case "reuse":
-			opts.FirstA2A = trainsim.FirstA2AReuse
-		case "copilot":
-			opts.FirstA2A = trainsim.FirstA2ACopilot
-		default:
-			return Result{}, fmt.Errorf("mixnet: unknown FirstA2A mode %q", cfg.FirstA2A)
+	fabricName := ""
+	for name, kind := range scenario.Fabrics() {
+		if kind == cfg.Fabric {
+			fabricName = name
+			break
 		}
 	}
-	engine, err := trainsim.New(m, plan, cluster, opts)
+	if fabricName == "" {
+		return Result{}, fmt.Errorf("mixnet: fabric %v not supported by Simulate", cfg.Fabric)
+	}
+	engine, err := scenario.NewEngine(scenario.Config{
+		Model: cfg.Model, Fabric: fabricName, Backend: cfg.Backend, CC: cfg.CC,
+		Workers: cfg.Workers, LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
+		FirstA2A: cfg.FirstA2A, ReconfigDelaySec: cfg.ReconfigDelaySec,
+	})
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("mixnet: %w", err)
 	}
 	stats, err := engine.Run(cfg.Iterations)
 	if err != nil {
@@ -171,8 +144,8 @@ func Simulate(cfg SimConfig) (Result, error) {
 	return Result{
 		MeanIterTime: trainsim.MeanIterTime(stats),
 		Stats:        stats,
-		GPUs:         cluster.GPUCount(),
-		Servers:      len(cluster.Servers),
+		GPUs:         engine.Cluster.GPUCount(),
+		Servers:      len(engine.Cluster.Servers),
 	}, nil
 }
 
@@ -186,7 +159,7 @@ func NetworkCost(fabric Fabric, servers, gbps int) (CostBreakdown, error) {
 }
 
 // SimBackends lists the available network-simulation backends in fidelity
-// order: "fluid", "packet", "analytic".
+// order: "fluid", "packet", "analytic", "analytic-ecmp".
 func SimBackends() []string { return netsim.Names() }
 
 // SimCongestionControls lists the packet backend's congestion controllers:

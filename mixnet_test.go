@@ -125,7 +125,8 @@ func TestExperimentIDsComplete(t *testing.T) {
 
 func TestSimBackends(t *testing.T) {
 	got := SimBackends()
-	if len(got) != 3 || got[0] != "fluid" || got[1] != "packet" || got[2] != "analytic" {
+	if len(got) != 4 || got[0] != "fluid" || got[1] != "packet" ||
+		got[2] != "analytic" || got[3] != "analytic-ecmp" {
 		t.Errorf("SimBackends() = %v", got)
 	}
 }
