@@ -8,8 +8,10 @@
 //	mixnet-bench -list           # available experiment ids
 //	mixnet-bench -par 8          # worker-pool width (default GOMAXPROCS)
 //	mixnet-bench -workers 8      # packet-backend shard parallelism
+//	mixnet-bench -batch          # batched communication plans (byte-identical)
 //	mixnet-bench -json           # also write BENCH_<scale>.json
 //	mixnet-bench -sweep          # every backend, one combined fidelity report
+//	mixnet-bench -scale large    # analytic-ecmp at 8k-32k GPUs -> BENCH_large_ecmp.json
 //
 // Experiments run concurrently on a worker pool; output order and table
 // contents are identical to a sequential run regardless of -par.
@@ -36,6 +38,7 @@ type benchReport struct {
 	CC           string            `json:"cc,omitempty"`
 	Workers      int               `json:"workers"`
 	SimWorkers   int               `json:"sim_workers,omitempty"`
+	Batch        bool              `json:"batch,omitempty"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Experiments  []benchExperiment `json:"experiments"`
 }
@@ -78,6 +81,8 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		par        = flag.Int("par", 0, "worker-pool width across experiments (0 = GOMAXPROCS)")
 		simWorkers = flag.Int("workers", 0, "packet-backend parallel shard event loops per engine (0/1 = serial, -1 = GOMAXPROCS)")
+		batch      = flag.Bool("batch", false, "batch each iteration's communication plan across independent steps (byte-identical results)")
+		scaleFlag  = flag.String("scale", "", "large: quantify analytic-ecmp vs fluid at 8k-32k GPU scale and write BENCH_large_ecmp.json")
 		sweep      = flag.Bool("sweep", false, "run the selected experiments on every backend and emit one combined fidelity report")
 		jsonOut    = flag.Bool("json", false, "write machine-readable BENCH_<scale>.json")
 		jsonPath   = flag.String("json-path", "", "override the BENCH_*.json output path")
@@ -95,6 +100,19 @@ func main() {
 		scale, scaleName = experiments.Full, "full"
 	}
 	experiments.SetDefaultSimWorkers(*simWorkers)
+	experiments.SetDefaultBatch(*batch)
+
+	if *scaleFlag != "" {
+		if *scaleFlag != "large" {
+			fmt.Fprintf(os.Stderr, "unknown -scale %q (only \"large\" is defined; use -full for paper-scale experiment dimensions)\n", *scaleFlag)
+			os.Exit(2)
+		}
+		if err := runLargeEcmp(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	ids := mixnet.ExperimentIDs()
 	if *only != "" {
 		ids = []string{*only}
@@ -128,6 +146,7 @@ func main() {
 	report := benchReport{
 		Scale: scaleName, Backend: experiments.DefaultBackend(),
 		Workers: workers, SimWorkers: experiments.DefaultSimWorkers(),
+		Batch: experiments.DefaultBatch(),
 	}
 	if *cc != "" {
 		report.CC = experiments.DefaultCC()
@@ -174,6 +193,31 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// largeEcmpReport is the BENCH_large_ecmp.json schema.
+type largeEcmpReport struct {
+	Scale string                     `json:"scale"`
+	Rows  []experiments.LargeEcmpRow `json:"rows"`
+}
+
+// runLargeEcmp quantifies the analytic-ecmp backend at 8k-32k GPU scale —
+// the ROADMAP follow-up the -scale large path exists for — printing the
+// collision-bound/runtime table and writing BENCH_large_ecmp.json.
+func runLargeEcmp(path string) error {
+	t, rows, err := experiments.LargeScaleEcmp([]int{8192, 16384, 32768}, 64, 64<<20)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.String())
+	if path == "" {
+		path = "BENCH_large_ecmp.json"
+	}
+	if err := writeJSON(path, largeEcmpReport{Scale: "large", Rows: rows}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // runSweep executes the same experiment set once per backend and emits one

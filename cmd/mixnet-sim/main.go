@@ -6,7 +6,9 @@
 //
 //	mixnet-sim -model "Mixtral 8x7B" -fabric mixnet -gbps 100 -iters 3 -mode copilot
 //	mixnet-sim -backend packet -workers 8            # sharded packet fidelity
+//	mixnet-sim -backend packet -workers 8 -batch     # + cross-step batched comm plans
 //	mixnet-sim -scenario trace -backend packet       # trace replay at packet fidelity
+//	mixnet-sim -scenario fail-nic+fail-gpu           # composed multi-failure drill
 //	mixnet-sim -scenario matrix -backends fluid,packet,analytic
 package main
 
@@ -27,13 +29,14 @@ func main() {
 		backend  = flag.String("backend", "fluid", "network simulation backend: fluid | packet | analytic | analytic-ecmp")
 		cc       = flag.String("cc", "", "packet-backend congestion control: fixed | dcqcn | swift")
 		workers  = flag.Int("workers", 0, "packet-backend parallel shard event loops (0/1 = serial, -1 = GOMAXPROCS)")
+		batch    = flag.Bool("batch", false, "batch each iteration's communication plan: independent layer A2As and the DP all-reduce simulate concurrently (byte-identical results)")
 		gbps     = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
 		dp       = flag.Int("dp", 1, "data-parallel replicas")
 		iters    = flag.Int("iters", 3, "iterations to simulate")
 		mode     = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
 		delay    = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
 		seed     = flag.Int64("seed", 1, "gate random seed")
-		scen     = flag.String("scenario", "", "run a named scenario instead: synthetic | trace | fail-nic | fail-gpu | fail-server | matrix")
+		scen     = flag.String("scenario", "", "run a named scenario instead: synthetic | trace | fail-nic | fail-gpu | fail-server | fail-nic+fail-gpu | fail-server+fail-nic | copilot-drill | matrix")
 		backends = flag.String("backends", "", "comma-separated backend list for -scenario matrix (default: -backend)")
 		list     = flag.Bool("list", false, "list models and scenarios, then exit")
 	)
@@ -49,7 +52,7 @@ func main() {
 	if *scen != "" {
 		runScenario(*scen, *backends, scenario.Config{
 			Model: *model, Fabric: strings.ToLower(*fabric), Backend: *backend,
-			CC: *cc, Workers: *workers, LinkGbps: *gbps, DP: *dp,
+			CC: *cc, Workers: *workers, Batch: *batch, LinkGbps: *gbps, DP: *dp,
 			Iterations: *iters, Seed: *seed, FirstA2A: *mode,
 			ReconfigDelaySec: *delay / 1e3,
 		})
@@ -62,7 +65,7 @@ func main() {
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
 		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, Workers: *workers,
-		LinkGbps: *gbps, DP: *dp,
+		Batch: *batch, LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})
@@ -78,6 +81,9 @@ func main() {
 	}
 	if *workers > 1 || *workers < 0 {
 		backendDesc += fmt.Sprintf(", %d workers", *workers)
+	}
+	if *batch {
+		backendDesc += ", batched"
 	}
 	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s)\n",
 		*model, kind, res.GPUs, res.Servers, *gbps, backendDesc)

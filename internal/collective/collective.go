@@ -254,6 +254,7 @@ func TopologyAwareAllToAll(ctx *Ctx, region int, gpus []topo.NodeID, demand *met
 	}
 	type key [2]int
 	pairVol := map[key]float64{}
+	var pairOrder []key // first-appearance order: flow compilation must be deterministic
 	var gather, inter, intra, scatter []*netsim.Flow
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -276,12 +277,20 @@ func TopologyAwareAllToAll(ctx *Ctx, region int, gpus []topo.NodeID, demand *met
 				}
 				continue
 			}
-			pairVol[key{si, sj}] += v
+			k := key{si, sj}
+			if _, seen := pairVol[k]; !seen {
+				pairOrder = append(pairOrder, k)
+			}
+			pairVol[k] += v
 		}
 	}
 
-	// Steps 1–3, 5 per ordered server pair.
-	for k, vol := range pairVol {
+	// Steps 1–3, 5 per ordered server pair, visited in first-appearance
+	// order: map iteration order would randomise flow IDs and ECMP salt
+	// draws run to run, breaking the byte-identical replays the
+	// batched-vs-serial (and sharded-vs-serial) guarantees rest on.
+	for _, k := range pairOrder {
+		vol := pairVol[k]
 		si, sj := k[0], k[1]
 		tk := [2]int{si, sj}
 		if si > sj {
@@ -388,10 +397,13 @@ func demandColShare(d *metrics.Matrix, serverOf []int, si, sj int, share float64
 
 // addSplitFlows emits gather or scatter flows between rank GPUs and a
 // delegate GPU on one server: rank->delegate when fromDelegate is false
-// (step 2), delegate->rank when true (step 5).
+// (step 2), delegate->rank when true (step 5). Ranks are visited in
+// ascending order (not map order) so flow IDs and ECMP salts replay
+// identically across runs.
 func addSplitFlows(ctx *Ctx, dst *[]*netsim.Flow, gpus []topo.NodeID, serverOf []int, server int, delegate topo.NodeID, fromDelegate bool, perRank map[int]float64) error {
-	for r, v := range perRank {
-		if gpus[r] == delegate || v <= 0 || serverOf[r] != server {
+	for r := 0; r < len(gpus); r++ {
+		v, ok := perRank[r]
+		if !ok || gpus[r] == delegate || v <= 0 || serverOf[r] != server {
 			continue
 		}
 		src, d := gpus[r], delegate

@@ -1,0 +1,313 @@
+// Package commplan compiles one training iteration's communication into a
+// DAG of steps and schedules it over a netsim backend. Each Step is an
+// independently simulatable workload (a compiled netsim.Phases: one layer's
+// A2A1 or A2A2, or the merged DP all-reduce) or a zero-flow barrier
+// carrying a precomputed reconfiguration delay. Dependency edges record
+// which barrier installed the circuits a step's routes were compiled
+// against; because compilation resolves routing up front (the plan builder
+// runs the controller loop serially), steps of different layers share no
+// simulator state and every ready frontier can be submitted to
+// Backend.BatchMakespan as one batch — the packet backend then drains all
+// (step, phase, shard) jobs on one worker pool, and the analytic backends
+// run a parallel step loop.
+//
+// Results are deterministic and byte-identical to serial execution: a
+// step's makespan and per-flow finish times never depend on which other
+// steps shared its batch, and Execute visits steps in a deterministic
+// topological-ready order (the initial frontier in ID order, then steps in
+// the order their last dependency resolved). A Plan is reusable — Reset
+// keeps all step, dependency and scheduling arenas, so steady-state plan
+// building performs no heap allocations beyond the flows the collective
+// compiler itself emits.
+package commplan
+
+import (
+	"fmt"
+
+	"mixnet/internal/netsim"
+	"mixnet/internal/topo"
+)
+
+// Kind classifies a communication step.
+type Kind uint8
+
+// Step kinds of a training iteration.
+const (
+	// KindBarrier is a zero-flow reconfiguration point: its Delay is the
+	// precomputed blocking cost, and dependent steps' routes were compiled
+	// against the circuits it installed.
+	KindBarrier Kind = iota
+	// KindA2A1 is a layer's forward dispatch all-to-all.
+	KindA2A1
+	// KindA2A2 is a layer's combine all-to-all (the transposed demand).
+	KindA2A2
+	// KindDP is the data-parallel gradient all-reduce.
+	KindDP
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindA2A1:
+		return "a2a1"
+	case KindA2A2:
+		return "a2a2"
+	case KindDP:
+		return "dp"
+	default:
+		return "barrier"
+	}
+}
+
+// Step is one node of the communication DAG.
+type Step struct {
+	ID    int
+	Kind  Kind
+	Layer int // layer index within the pipeline stage; -1 for non-layer steps
+	// Phases is the compiled workload; nil for barriers.
+	Phases netsim.Phases
+	// Delay is a barrier's blocking cost in seconds (0 for simulated steps,
+	// whose cost is measured into Makespan by Execute).
+	Delay float64
+	// Makespan is filled by Execute: the step's simulated completion time
+	// (Delay for barriers).
+	Makespan float64
+
+	depOff, depLen int32 // view into the plan's dependency arena
+}
+
+// Plan is a reusable communication DAG plus its scheduling scratch.
+type Plan struct {
+	steps []Step
+	deps  []int32 // flat dependency arena: steps[i].deps = deps[depOff:depOff+depLen]
+
+	// Execute scratch, reused across iterations.
+	indeg    []int32
+	succOff  []int32 // per-step successor offsets into succ (CSR)
+	succ     []int32
+	frontier []int32
+	batch    []netsim.Phases
+	batchIDs []int32
+	widths   []int
+}
+
+// New returns an empty reusable plan.
+func New() *Plan { return &Plan{} }
+
+// Reset clears the plan for a new iteration, keeping every arena.
+func (p *Plan) Reset() {
+	p.steps = p.steps[:0]
+	p.deps = p.deps[:0]
+	p.widths = p.widths[:0]
+}
+
+// Len returns the number of steps.
+func (p *Plan) Len() int { return len(p.steps) }
+
+// Step returns a step by ID; the pointer is valid until the next Reset.
+func (p *Plan) Step(id int) *Step { return &p.steps[id] }
+
+// Steps returns the step slice, valid until the next Reset.
+func (p *Plan) Steps() []Step { return p.steps }
+
+// Add appends a step and returns its ID. phases must be nil for barriers;
+// deps are added with AddDep.
+func (p *Plan) Add(kind Kind, layer int, phases netsim.Phases, delay float64) int {
+	id := len(p.steps)
+	if cap(p.steps) > id {
+		p.steps = p.steps[:id+1]
+		p.steps[id] = Step{}
+	} else {
+		p.steps = append(p.steps, Step{})
+	}
+	s := &p.steps[id]
+	s.ID, s.Kind, s.Layer, s.Phases, s.Delay = id, kind, layer, phases, delay
+	s.depOff = int32(len(p.deps))
+	return id
+}
+
+// AddDep records that step waits on dep. Dependencies of a step must be
+// added before the next step is added (the arena is append-only), and dep
+// must be an already-added step — together these make a Plan acyclic by
+// construction (edges always point backward); Execute's cycle check is
+// defence in depth only.
+func (p *Plan) AddDep(step, dep int) {
+	s := &p.steps[step]
+	if int(s.depOff)+int(s.depLen) != len(p.deps) {
+		panic("commplan: AddDep after another step was added")
+	}
+	if dep < 0 || dep >= len(p.steps) {
+		panic("commplan: AddDep on unknown step")
+	}
+	p.deps = append(p.deps, int32(dep))
+	s.depLen++
+}
+
+// Deps returns a step's dependency IDs (a view into the arena).
+func (p *Plan) Deps(id int) []int32 {
+	s := &p.steps[id]
+	return p.deps[s.depOff : s.depOff+int32(s.depLen)]
+}
+
+// BatchWidths reports the simulated-step count of each batch the last
+// Execute submitted, in submission order (serial execution submits batches
+// of one). The slice is valid until the next Execute or Reset.
+func (p *Plan) BatchWidths() []int { return p.widths }
+
+// Makespans sums the simulated makespans of every step of the given kind —
+// a convenience for accounting checks.
+func (p *Plan) Makespans(kind Kind) float64 {
+	var s float64
+	for i := range p.steps {
+		if p.steps[i].Kind == kind {
+			s += p.steps[i].Makespan
+		}
+	}
+	return s
+}
+
+// grow ensures the scheduling arenas cover n steps and the dependency count.
+func (p *Plan) grow(n int) {
+	if cap(p.indeg) < n {
+		p.indeg = make([]int32, n)
+		p.succOff = make([]int32, n+1)
+		p.frontier = make([]int32, 0, n)
+		p.batch = make([]netsim.Phases, 0, n)
+		p.batchIDs = make([]int32, 0, n)
+	}
+	if cap(p.succ) < len(p.deps) {
+		p.succ = make([]int32, len(p.deps))
+	}
+	if cap(p.succOff) < n+1 {
+		p.succOff = make([]int32, n+1)
+	}
+}
+
+// Execute simulates the plan on b over g. With batch set, every frontier of
+// ready simulated steps is submitted as one BatchMakespan call (barriers
+// resolve for free and immediately release their successors); without it,
+// steps are submitted one at a time in the same deterministic
+// topological-ready order — the serial reference. Per-step makespans and
+// per-flow finish times are byte-identical between the two modes at every
+// backend worker count (steps are independent simulations, so submission
+// order cannot influence results).
+func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
+	n := len(p.steps)
+	if n == 0 {
+		return nil
+	}
+	p.grow(n)
+	indeg := p.indeg[:n]
+	// Build the successor CSR from the dependency arena: succ lists, per
+	// step, the steps that wait on it.
+	succOff := p.succOff[:n+1]
+	for i := range succOff {
+		succOff[i] = 0
+	}
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for _, d := range p.Deps(i) {
+			succOff[d]++
+			indeg[i]++
+		}
+	}
+	var sum int32
+	for i := 0; i < n; i++ {
+		c := succOff[i]
+		succOff[i] = sum
+		sum += c
+	}
+	succOff[n] = sum
+	succ := p.succ[:len(p.deps)]
+	// Fill cursors advance succOff; it is rebuilt below.
+	for i := 0; i < n; i++ {
+		for _, d := range p.Deps(i) {
+			succ[succOff[d]] = int32(i)
+			succOff[d]++
+		}
+	}
+	// succOff[i] now holds the end of i's successor range; start is the
+	// previous end.
+	succStart := func(i int) int32 {
+		if i == 0 {
+			return 0
+		}
+		return succOff[i-1]
+	}
+
+	p.widths = p.widths[:0]
+	queue := p.frontier[:0]
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	done := 0
+	// release decrements successors' indegrees, appending newly ready steps
+	// to the queue. Callers iterate the queue by index, so appends made
+	// mid-iteration are still visited.
+	release := func(id int32) {
+		for _, s := range succ[succStart(int(id)):succOff[id]] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	for done < n {
+		if len(queue) == 0 {
+			return fmt.Errorf("commplan: dependency cycle (%d of %d steps scheduled)", done, n)
+		}
+		// Drain the ready queue: barriers resolve immediately (releasing
+		// their successors into this same pass), simulated steps accumulate
+		// into the frontier batch. A single indexed pass handles cascades of
+		// barrier -> barrier releases because release appends to queue.
+		batchPh := p.batch[:0]
+		batchIDs := p.batchIDs[:0]
+		for qi := 0; qi < len(queue); qi++ {
+			id := queue[qi]
+			s := &p.steps[id]
+			if s.Phases == nil {
+				s.Makespan = s.Delay
+				done++
+				release(id)
+			} else {
+				batchPh = append(batchPh, s.Phases)
+				batchIDs = append(batchIDs, id)
+			}
+		}
+		queue = queue[:0]
+		if len(batchIDs) > 0 {
+			if batch {
+				ms, err := b.BatchMakespan(g, batchPh)
+				if err != nil {
+					return err
+				}
+				p.widths = append(p.widths, len(batchIDs))
+				for k, id := range batchIDs {
+					p.steps[id].Makespan = ms[k]
+					done++
+				}
+			} else {
+				for _, id := range batchIDs {
+					ms, err := b.Makespan(g, p.steps[id].Phases)
+					if err != nil {
+						return err
+					}
+					p.steps[id].Makespan = ms
+					p.widths = append(p.widths, 1)
+					done++
+				}
+			}
+			// Successors release only after the whole batch completed, so
+			// the next frontier is again maximal.
+			for _, id := range batchIDs {
+				release(id)
+			}
+		}
+		p.batch, p.batchIDs = batchPh[:0], batchIDs[:0]
+	}
+	p.frontier = queue[:0]
+	return nil
+}

@@ -86,9 +86,23 @@ func SetDefaultSimWorkers(n int) { defaultSimWorkers = n }
 // engines simulate with.
 func DefaultSimWorkers() int { return defaultSimWorkers }
 
+// defaultBatch routes every experiment engine's iteration through batched
+// communication-plan submission (trainsim.Options.BatchComm). Like
+// defaultBackend it is set once before a run; results are byte-identical
+// with and without it.
+var defaultBatch bool
+
+// SetDefaultBatch selects batched communication-plan execution for all
+// experiment engines. Call it before Run/RunIDs, not concurrently with them.
+func SetDefaultBatch(on bool) { defaultBatch = on }
+
+// DefaultBatch returns whether experiment engines batch their communication
+// plans.
+func DefaultBatch() bool { return defaultBatch }
+
 // newEngine builds a training engine, applying the package default backend,
-// congestion controller and packet shard parallelism when opts doesn't name
-// them.
+// congestion controller, packet shard parallelism and communication-plan
+// batching when opts doesn't name them.
 func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.Options) (*trainsim.Engine, error) {
 	if opts.Backend == "" {
 		opts.Backend = defaultBackend
@@ -98,6 +112,9 @@ func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.O
 	}
 	if opts.Workers == 0 {
 		opts.Workers = defaultSimWorkers
+	}
+	if defaultBatch {
+		opts.BatchComm = true
 	}
 	return trainsim.New(m, plan, c, opts)
 }

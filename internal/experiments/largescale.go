@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mixnet/internal/netsim"
+	"mixnet/internal/topo"
+)
+
+// LargeEcmpRow is one machine-readable row of the large-scale analytic-ecmp
+// quantification (BENCH_large_ecmp.json).
+type LargeEcmpRow struct {
+	GPUs    int `json:"gpus"`
+	Servers int `json:"servers"`
+	Flows   int `json:"flows"`
+	// Makespans of the uniform all-to-all among the sampled leaders, in
+	// seconds, per backend. Fluid is the max-min reference; Analytic is the
+	// sampled-path bound (ECMP hash collisions charge a flow's full bytes
+	// to every sampled link); Ecmp spreads bytes fractionally over the
+	// shortest-path DAG, pricing the fabric free of collision artifacts.
+	FluidSec    float64 `json:"fluid_sec"`
+	AnalyticSec float64 `json:"analytic_sec"`
+	EcmpSec     float64 `json:"ecmp_sec"`
+	// Runtimes of the three simulations in seconds of wall clock.
+	FluidRunSec    float64 `json:"fluid_run_sec"`
+	AnalyticRunSec float64 `json:"analytic_run_sec"`
+	EcmpRunSec     float64 `json:"ecmp_run_sec"`
+}
+
+// LargeScaleEcmp quantifies the analytic-ecmp backend at cluster scales the
+// fluid backend is too slow to sweep: for each target GPU count it builds a
+// full fat-tree, compiles a uniform all-to-all among (up to) participants
+// leader GPUs spread evenly across the servers, and measures the collision
+// bound (sampled-path analytic vs fractional-spreading analytic-ecmp) plus
+// each backend's wall-clock runtime against the fluid reference. The
+// returned rows feed BENCH_large_ecmp.json; the Table renders them.
+//
+// Participants are capped so the BFS router's per-destination distance
+// fields stay bounded while flows still cross every switching tier; the
+// clusters themselves are built at full scale, so the routed paths and the
+// per-link loads are the real 8k-32k GPU fabric's.
+func LargeScaleEcmp(gpuScales []int, participants int, bytesPerFlow float64) (Table, []LargeEcmpRow, error) {
+	t := Table{
+		ID:    "large_ecmp",
+		Title: "analytic-ecmp at scale: collision bound + runtime vs fluid (uniform leader all-to-all, 400G fat-tree)",
+		Header: []string{"GPUs", "Servers", "Flows", "Fluid (ms)", "Analytic (ms)", "Ecmp (ms)",
+			"Collision slack", "Fluid run (s)", "Ana run (s)", "Ecmp run (s)"},
+		Notes: "collision slack = analytic/ecmp - 1: load the sampled-path bound attributes to ECMP hash collisions that fractional spreading removes",
+	}
+	if participants <= 1 {
+		participants = 64
+	}
+	if bytesPerFlow <= 0 {
+		bytesPerFlow = 64 << 20
+	}
+	var rows []LargeEcmpRow
+	for _, gpus := range gpuScales {
+		servers := gpus / 8
+		if servers < 2 {
+			return t, rows, fmt.Errorf("experiments: large-ecmp scale %d too small", gpus)
+		}
+		c := topo.BuildFatTree(topo.DefaultSpec(servers, 400*topo.Gbps))
+		n := participants
+		if n > servers {
+			n = servers
+		}
+		stride := servers / n
+		r := topo.NewBFSRouter(c.G)
+		var fs []*netsim.Flow
+		id := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				src := c.GPU(i*stride, 0)
+				dst := c.GPU(j*stride, 0)
+				rt, err := r.Route(src, dst, topo.FlowKey(src, dst, uint64(id)))
+				if err != nil {
+					return t, rows, err
+				}
+				fs = append(fs, &netsim.Flow{ID: id, Path: rt, Bytes: bytesPerFlow})
+				id++
+			}
+		}
+		phases := netsim.Phases{fs}
+		run := func(name string) (float64, float64, error) {
+			b, err := netsim.New(name)
+			if err != nil {
+				return 0, 0, err
+			}
+			start := time.Now()
+			ms, err := b.Makespan(c.G, phases)
+			return ms, time.Since(start).Seconds(), err
+		}
+		fluidMs, fluidRun, err := run("fluid")
+		if err != nil {
+			return t, rows, err
+		}
+		anaMs, anaRun, err := run("analytic")
+		if err != nil {
+			return t, rows, err
+		}
+		ecmpMs, ecmpRun, err := run("analytic-ecmp")
+		if err != nil {
+			return t, rows, err
+		}
+		rows = append(rows, LargeEcmpRow{
+			GPUs: gpus, Servers: servers, Flows: len(fs),
+			FluidSec: fluidMs, AnalyticSec: anaMs, EcmpSec: ecmpMs,
+			FluidRunSec: fluidRun, AnalyticRunSec: anaRun, EcmpRunSec: ecmpRun,
+		})
+		slack := 0.0
+		if ecmpMs > 0 {
+			slack = anaMs/ecmpMs - 1
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(gpus), fmt.Sprint(servers), fmt.Sprint(len(fs)),
+			fmt.Sprintf("%.2f", fluidMs*1e3),
+			fmt.Sprintf("%.2f", anaMs*1e3),
+			fmt.Sprintf("%.2f", ecmpMs*1e3),
+			fmt.Sprintf("%.1f%%", slack*100),
+			fmt.Sprintf("%.2f", fluidRun),
+			fmt.Sprintf("%.2f", anaRun),
+			fmt.Sprintf("%.2f", ecmpRun),
+		})
+	}
+	return t, rows, nil
+}

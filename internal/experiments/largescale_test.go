@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestLargeScaleEcmpShape runs the -scale large quantification at toy
+// sizing (the 8k-32k GPU clusters belong to mixnet-bench, not CI): the
+// ecmp bound must not exceed the sampled-path bound (fractional spreading
+// only removes collision load on the symmetric fat-tree), and the rows must
+// round-trip into both the table and the JSON payload.
+func TestLargeScaleEcmpShape(t *testing.T) {
+	t.Parallel()
+	tab, rows, err := LargeScaleEcmp([]int{256, 512}, 8, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("%d json rows / %d table rows, want 2/2", len(rows), len(tab.Rows))
+	}
+	for _, r := range rows {
+		if r.Flows != 8*7 {
+			t.Errorf("%d GPUs: %d flows, want 56", r.GPUs, r.Flows)
+		}
+		if r.FluidSec <= 0 || r.AnalyticSec <= 0 || r.EcmpSec <= 0 {
+			t.Errorf("%d GPUs: non-positive makespan %+v", r.GPUs, r)
+		}
+		if r.EcmpSec > r.AnalyticSec*(1+1e-9) {
+			t.Errorf("%d GPUs: ecmp bound %.6f above sampled-path bound %.6f", r.GPUs, r.EcmpSec, r.AnalyticSec)
+		}
+		if r.AnalyticSec > r.FluidSec*(1+1e-9) {
+			t.Errorf("%d GPUs: analytic bound %.6f above fluid %.6f", r.GPUs, r.AnalyticSec, r.FluidSec)
+		}
+	}
+	if _, _, err := LargeScaleEcmp([]int{8}, 4, 1<<20); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+}

@@ -52,6 +52,33 @@ type Backend interface {
 	// summed per-phase completion time in seconds. Flow Finish fields are
 	// written in place.
 	Makespan(g *topo.Graph, phases Phases) (float64, error)
+	// BatchMakespan simulates a batch of mutually independent steps — each
+	// one a Phases workload that Makespan could simulate on its own — and
+	// returns the per-step makespans in step order. Per-step results
+	// (makespan and per-flow Finish fields) are byte-identical to calling
+	// Makespan once per step; what a backend may do differently is schedule
+	// the steps' internal work concurrently (the packet backend drains all
+	// (step, phase, shard) jobs on one worker pool, the analytic backends
+	// run a parallel step loop). Steps must not share Flow pointers.
+	BatchMakespan(g *topo.Graph, steps []Phases) ([]float64, error)
+}
+
+// SerialBatch implements BatchMakespan by calling b.Makespan once per step
+// in step order — the fallback adapter for backends with nothing to gain
+// from cross-step scheduling. out is reused when it has capacity.
+func SerialBatch(b Backend, g *topo.Graph, steps []Phases, out []float64) ([]float64, error) {
+	if cap(out) < len(steps) {
+		out = make([]float64, len(steps))
+	}
+	out = out[:len(steps)]
+	for i, ph := range steps {
+		ms, err := b.Makespan(g, ph)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
 }
 
 // DefaultName is the backend used when no name is given.
@@ -85,6 +112,16 @@ func NewWithCC(name, cc string) (Backend, error) {
 // and < 0 selects GOMAXPROCS. Per-flow results are byte-identical at every
 // worker count.
 func NewWithWorkers(name, cc string, workers int) (Backend, error) {
+	return NewWithOptions(name, cc, workers, false)
+}
+
+// NewWithOptions resolves a backend by registry name with a packet-backend
+// congestion controller, shard-parallelism bound and cross-step batching
+// flag. batch makes the packet backend fuse every step of a BatchMakespan
+// call into one (step, phase, shard) job pool instead of simulating the
+// steps one after another; the other backends batch-schedule independently
+// of the flag (results are byte-identical either way).
+func NewWithOptions(name, cc string, workers int, batch bool) (Backend, error) {
 	if cc != "" {
 		if err := packetsim.ValidCC(cc); err != nil {
 			return nil, fmt.Errorf("netsim: %w", err)
@@ -101,7 +138,7 @@ func NewWithWorkers(name, cc string, workers int) (Backend, error) {
 	case "", "fluid":
 		return NewFluid(), nil
 	case "packet":
-		return NewPacket(PacketConfig{CC: cc, Workers: workers}), nil
+		return NewPacket(PacketConfig{CC: cc, Workers: workers, Batch: batch}), nil
 	case "analytic":
 		return NewAnalytic(), nil
 	case "analytic-ecmp":

@@ -28,6 +28,13 @@ type PacketConfig struct {
 	// historical single serial event loop; a negative value selects
 	// GOMAXPROCS. The pool never exceeds a phase's component count.
 	Workers int
+	// Batch makes BatchMakespan fuse every submitted step into one
+	// (step, phase, shard) job pool so the Workers event loops steal work
+	// across step boundaries — a step whose hot shard paces it no longer
+	// idles the pool while other steps have runnable shards. Off, steps of
+	// a batch simulate one after another. Per-step results are
+	// byte-identical either way.
+	Batch bool
 }
 
 // Packet is the event-driven packet-level backend (internal/packetsim,
@@ -36,20 +43,26 @@ type PacketConfig struct {
 // flow-conversion buffer, so repeated calls don't rebuild per-graph state
 // from scratch. With Workers > 1 each phase is partitioned into link-disjoint
 // shards that replay on a pool of reusable event loops (one per worker) and
-// merge deterministically.
+// merge deterministically; with Batch the same pool additionally drains the
+// jobs of every step submitted to BatchMakespan at once.
 type Packet struct {
 	cfg     packetsim.Config
 	workers int
+	batch   bool
 	sim     *packetsim.Sim
 	buf     []packetsim.Flow
 	ptrs    []*packetsim.Flow
 
-	// sharded-path state, allocated on first parallel use.
+	// sharded/batched-path state, allocated on first parallel use.
 	part    *Partitioner
 	sharded *packetsim.ShardedSim
 	shards  [][]*packetsim.Flow // per-shard views into buf
-	phaseOf []int               // shard index -> phase index
+	stepOf  []int               // shard index -> step index within the batch
+	phaseOf []int               // shard index -> phase index within its step
 	order   []*Flow             // netsim flows in partition order, for Finish copy-back
+	totals  []float64           // per-step makespans of the last submission
+	serial  []float64           // SerialBatch output (distinct from totals: Makespan writes totals)
+	oneStep [1]Phases           // reusable single-step batch for Makespan
 }
 
 // NewPacket returns a reusable packet backend.
@@ -63,12 +76,16 @@ func NewPacket(cfg PacketConfig) *Packet {
 	return &Packet{
 		cfg:     packetsim.Config{MTU: cfg.MTU, Window: cfg.Window, CC: cfg.CC},
 		workers: cfg.Workers,
+		batch:   cfg.Batch,
 		sim:     packetsim.NewSim(),
 	}
 }
 
 // Workers returns the resolved worker bound (0 or 1 = serial).
 func (p *Packet) Workers() int { return p.workers }
+
+// Batched reports whether BatchMakespan fuses steps into one job pool.
+func (p *Packet) Batched() bool { return p.batch }
 
 // Name implements Backend.
 func (*Packet) Name() string { return "packet" }
@@ -78,7 +95,13 @@ func (*Packet) Name() string { return "packet" }
 // default, or Workers parallel loops with Workers > 1.
 func (p *Packet) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 	if p.workers > 1 {
-		return p.shardedMakespan(g, phases)
+		p.oneStep[0] = phases
+		totals, err := p.submitBatch(g, p.oneStep[:])
+		p.oneStep[0] = nil
+		if err != nil {
+			return 0, err
+		}
+		return totals[0], nil
 	}
 	var total float64
 	for _, fs := range phases {
@@ -92,6 +115,20 @@ func (p *Packet) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 		total += ms
 	}
 	return total, nil
+}
+
+// BatchMakespan implements Backend. Without the Batch knob the steps are
+// simulated one after another (each still sharded across Workers loops when
+// Workers > 1); with it, every step's (phase, shard) jobs are flattened
+// into one submission and the worker pool steals work across steps. The
+// returned slice is owned by the backend and valid until the next call.
+func (p *Packet) BatchMakespan(g *topo.Graph, steps []Phases) ([]float64, error) {
+	if !p.batch {
+		out, err := SerialBatch(p, g, steps, p.serial)
+		p.serial = out[:0:cap(out)]
+		return out, err
+	}
+	return p.submitBatch(g, steps)
 }
 
 // convert fills buf[i]/ptrs[i] from a netsim flow.
@@ -126,24 +163,33 @@ func (p *Packet) serialPhase(g *topo.Graph, fs []*Flow) (float64, error) {
 	return res.Makespan.Seconds(), nil
 }
 
-// shardedMakespan partitions every phase into link-disjoint components and
-// runs all (phase, shard) jobs on one worker pool. Phases are independent
-// simulations — the serial loop resets all state between them and sums
-// their makespans — so a phase that doesn't decompose can still overlap
-// other phases' shards instead of serialising the whole call. Per-flow
-// finish times (phase-relative, as always) and the summed makespan are
-// byte-identical to the serial loop.
-func (p *Packet) shardedMakespan(g *topo.Graph, phases Phases) (float64, error) {
+// submitBatch partitions every (step, phase) into link-disjoint components
+// and runs all (step, phase, shard) jobs on one worker pool. Phases are
+// independent simulations — the serial loop resets all state between them
+// and sums their makespans — so a step whose hot shard paces it can overlap
+// other steps' shards instead of serialising the batch. Per-flow finish
+// times (phase-relative, as always) and each step's summed makespan are
+// byte-identical to simulating the steps one at a time on the serial loop.
+func (p *Packet) submitBatch(g *topo.Graph, steps []Phases) ([]float64, error) {
 	if p.part == nil {
 		p.part = NewPartitioner()
 		p.sharded = packetsim.NewShardedSim()
 	}
+	if cap(p.totals) < len(steps) {
+		p.totals = make([]float64, len(steps))
+	}
+	totals := p.totals[:len(steps)]
 	nFlows := 0
-	for _, fs := range phases {
-		nFlows += len(fs)
+	for _, phases := range steps {
+		for _, fs := range phases {
+			nFlows += len(fs)
+		}
 	}
 	if nFlows == 0 {
-		return 0, nil
+		for i := range totals {
+			totals[i] = 0
+		}
+		return totals, nil
 	}
 	if cap(p.buf) < nFlows {
 		p.buf = make([]packetsim.Flow, nFlows)
@@ -154,49 +200,55 @@ func (p *Packet) shardedMakespan(g *topo.Graph, phases Phases) (float64, error) 
 	}
 	p.buf, p.ptrs = p.buf[:nFlows], p.ptrs[:nFlows]
 	order := p.order[:nFlows]
-	pshards, phaseOf := p.shards[:0], p.phaseOf[:0]
+	pshards, stepOf, phaseOf := p.shards[:0], p.stepOf[:0], p.phaseOf[:0]
 	i := 0
-	for pi, fs := range phases {
-		if len(fs) == 0 {
-			continue
-		}
-		// Shard views are consumed (converted into buf ranges) before the
-		// next Partition call invalidates them.
-		for _, shard := range p.part.Partition(len(g.Links), fs) {
-			start := i
-			for _, f := range shard {
-				p.convert(i, f)
-				order[i] = f
-				i++
+	for si, phases := range steps {
+		for pi, fs := range phases {
+			if len(fs) == 0 {
+				continue
 			}
-			pshards = append(pshards, p.ptrs[start:i:i])
-			phaseOf = append(phaseOf, pi)
+			// Shard views are consumed (converted into buf ranges) before the
+			// next Partition call invalidates them.
+			for _, shard := range p.part.Partition(len(g.Links), fs) {
+				start := i
+				for _, f := range shard {
+					p.convert(i, f)
+					order[i] = f
+					i++
+				}
+				pshards = append(pshards, p.ptrs[start:i:i])
+				stepOf = append(stepOf, si)
+				phaseOf = append(phaseOf, pi)
+			}
 		}
 	}
-	p.shards, p.phaseOf = pshards, phaseOf
+	p.shards, p.stepOf, p.phaseOf = pshards, stepOf, phaseOf
 	res, err := p.sharded.SimulateEach(g, pshards, p.cfg, p.workers)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	// Sum per-phase maxima in phase order, mirroring the serial loop's
-	// "convert each phase's makespan to seconds, then add" float sequence.
-	var total float64
+	// Per step: sum per-phase maxima in phase order, mirroring the serial
+	// loop's "convert each phase's makespan to seconds, then add" float
+	// sequence. Shards arrive grouped by (step, phase) in input order.
+	for i := range totals {
+		totals[i] = 0
+	}
 	var phaseMax eventsim.Time
-	cur := -1
+	curStep, curPhase := -1, -1
 	for k, r := range res {
-		if phaseOf[k] != cur {
-			if cur >= 0 {
-				total += phaseMax.Seconds()
+		if stepOf[k] != curStep || phaseOf[k] != curPhase {
+			if curStep >= 0 {
+				totals[curStep] += phaseMax.Seconds()
 			}
-			phaseMax, cur = 0, phaseOf[k]
+			phaseMax, curStep, curPhase = 0, stepOf[k], phaseOf[k]
 		}
 		if r.Makespan > phaseMax {
 			phaseMax = r.Makespan
 		}
 	}
-	total += phaseMax.Seconds()
+	totals[curStep] += phaseMax.Seconds()
 	for i, f := range order {
 		f.Finish = p.buf[i].Finish.Seconds()
 	}
-	return total, nil
+	return totals, nil
 }

@@ -54,8 +54,12 @@ func (ss *ShardedSim) grow(n int) {
 // running event loops; workers <= 1 runs the shards sequentially on one
 // reusable Sim. Flow Finish fields are written in place exactly as the
 // serial simulator would write them, and every shard starts from virtual
-// time 0 — so shards may come from different phases of a phased workload
-// (phases reset all simulator state anyway) and overlap on the pool.
+// time 0 — so shards may come from different phases (or different steps of
+// a communication plan: phases reset all simulator state anyway) of a
+// phased workload and overlap on the pool. This is the cross-step drain a
+// batched communication plan submits to: the caller flattens every ready
+// step's (phase, shard) jobs into one slice and the pool steals work
+// across step boundaries instead of fanning out per call.
 //
 // The returned slice is owned by the ShardedSim and valid until the next
 // call. When several shards fail, the error of the lowest-indexed shard
@@ -70,13 +74,22 @@ func (ss *ShardedSim) SimulateEach(g *topo.Graph, shards [][]*Flow, cfg Config, 
 		ss.errs = make([]error, n)
 	}
 	res, errs := ss.res[:n], ss.errs[:n]
+	ss.drain(g, shards, cfg, workers, res, errs)
+	return res, firstError(errs)
+}
+
+// drain runs every job on the bounded worker pool, writing results and
+// errors by job index. workers <= 1 (after resolution against the job
+// count) runs the jobs sequentially on one reusable Sim.
+func (ss *ShardedSim) drain(g *topo.Graph, jobs [][]*Flow, cfg Config, workers int, res []Result, errs []error) {
+	n := len(jobs)
 	workers = Workers(workers, n)
 	if workers <= 1 {
 		ss.grow(1)
-		for i, fs := range shards {
+		for i, fs := range jobs {
 			res[i], errs[i] = ss.sims[0].Simulate(g, fs, cfg)
 		}
-		return res, firstError(errs)
+		return
 	}
 	ss.grow(workers)
 	var next atomic.Int64
@@ -91,12 +104,11 @@ func (ss *ShardedSim) SimulateEach(g *topo.Graph, shards [][]*Flow, cfg Config, 
 				if i >= n {
 					return
 				}
-				res[i], errs[i] = s.Simulate(g, shards[i], cfg)
+				res[i], errs[i] = s.Simulate(g, jobs[i], cfg)
 			}
 		}()
 	}
 	wg.Wait()
-	return res, firstError(errs)
 }
 
 // Simulate runs every shard and merges the results into one: the makespan

@@ -39,6 +39,11 @@ type Config struct {
 	// Workers bounds the packet backend's parallel shard event loops
 	// (0/1 = serial, < 0 = GOMAXPROCS).
 	Workers int
+	// Batch submits each iteration's communication plan to the backend in
+	// ready frontiers (independent layer A2As and the DP all-reduce
+	// simulate concurrently) instead of step by step. Results are
+	// byte-identical either way.
+	Batch bool
 	// LinkGbps is the NIC line rate in Gbit/s (default 400).
 	LinkGbps float64
 	// DP replicates the model (default 1).
@@ -81,11 +86,20 @@ const (
 	FailNIC    = "fail-nic"    // one EPS NIC down on a group server
 	FailGPU    = "fail-gpu"    // one GPU remapped to a backup server
 	FailServer = "fail-server" // whole server replaced from the backup pool
+	// Multi-failure compositions: injectors stack and unwind in reverse,
+	// so the drill measures the combined overhead.
+	FailNICGPU    = "fail-nic+fail-gpu"    // EPS NIC down on server 0 + GPU remapped off-host
+	FailServerNIC = "fail-server+fail-nic" // server 0 replaced + EPS NIC down on server 1
+	// CopilotDrill replays the fail-gpu drill with proactive Copilot
+	// reconfiguration (§B.1): both the clean baseline and the faulty run
+	// use predicted circuits, so the overhead isolates the failure, not the
+	// first-A2A policy.
+	CopilotDrill = "copilot-drill"
 )
 
 // Names lists the runnable scenarios in matrix order.
 func Names() []string {
-	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer}
+	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC, CopilotDrill}
 }
 
 func (c Config) withDefaults() Config {
@@ -185,7 +199,7 @@ func newEngine(cfg Config, src trainsim.IterationSource) (*trainsim.Engine, erro
 	}
 	opts := trainsim.Options{
 		GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, Source: src,
+		Workers: cfg.Workers, BatchComm: cfg.Batch, Source: src,
 	}
 	if cfg.Fabric == "mixnet" {
 		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)
@@ -296,6 +310,48 @@ func Run(name string, cfg Config) (Result, error) {
 	return run(name, cfg.withDefaults(), nil)
 }
 
+// Injector faults an engine before a drill run.
+type Injector func(e *trainsim.Engine) (failure.Restore, error)
+
+// injectNIC downs one EPS NIC on the given group server.
+func injectNIC(server int) Injector {
+	return func(e *trainsim.Engine) (failure.Restore, error) {
+		return failure.FailEPSNICs(e.Cluster, server, 1)
+	}
+}
+
+// injectGPU remaps the last TP rank of EP rank 0 to the backup-pool server.
+func injectGPU(e *trainsim.Engine) (failure.Restore, error) {
+	return failure.FailGPU(e, 0, e.Plan.TP-1, len(e.Cluster.Servers)-1)
+}
+
+// injectServer replaces group server 0 with the last server of the pool.
+func injectServer(e *trainsim.Engine) (failure.Restore, error) {
+	return failure.FailServer(e, 0, len(e.Cluster.Servers)-1)
+}
+
+// compose stacks injectors left to right; the combined restore unwinds in
+// reverse order, and a failed injection unwinds whatever already applied.
+func compose(injs ...Injector) Injector {
+	return func(e *trainsim.Engine) (failure.Restore, error) {
+		restores := make([]failure.Restore, 0, len(injs))
+		unwind := func() {
+			for i := len(restores) - 1; i >= 0; i-- {
+				restores[i]()
+			}
+		}
+		for _, inj := range injs {
+			r, err := inj(e)
+			if err != nil {
+				unwind()
+				return nil, err
+			}
+			restores = append(restores, r)
+		}
+		return unwind, nil
+	}
+}
+
 // run executes one scenario; base optionally supplies a memoized clean run
 // of the same configuration for the failure drills.
 func run(name string, cfg Config, base *Result) (Result, error) {
@@ -315,17 +371,25 @@ func run(name string, cfg Config, base *Result) (Result, error) {
 		}
 		return runEngine(cfg, name, src)
 	case FailNIC:
-		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
-			return failure.FailEPSNICs(e.Cluster, 0, 1)
-		})
+		return drill(cfg, name, base, injectNIC(0))
 	case FailGPU:
-		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
-			return failure.FailGPU(e, 0, e.Plan.TP-1, len(e.Cluster.Servers)-1)
-		})
+		return drill(cfg, name, base, injectGPU)
 	case FailServer:
-		return drill(cfg, name, base, func(e *trainsim.Engine) (failure.Restore, error) {
-			return failure.FailServer(e, 0, len(e.Cluster.Servers)-1)
-		})
+		return drill(cfg, name, base, injectServer)
+	case FailNICGPU:
+		return drill(cfg, name, base, compose(injectNIC(0), injectGPU))
+	case FailServerNIC:
+		// The NIC fault lands on server 1: server 0 just left the group, so
+		// the composition stresses EPS redundancy on a surviving server
+		// while the replacement server is reachable over EPS only.
+		return drill(cfg, name, base, compose(injectServer, injectNIC(1)))
+	case CopilotDrill:
+		// Both the baseline and the faulty engine run under Copilot
+		// first-A2A handling; the memoized block-mode baseline does not
+		// apply, so the drill measures its own clean run.
+		cop := cfg
+		cop.FirstA2A = "copilot"
+		return drill(cop, name, nil, injectGPU)
 	}
 	return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 }
@@ -343,8 +407,14 @@ func RunMatrix(scenarios, backends []string, cfg Config) ([]Result, error) {
 	if len(backends) == 0 {
 		backends = []string{cfg.Backend}
 	}
+	// Drills sharing the block-mode clean baseline; copilot-drill measures
+	// its own baseline (different first-A2A policy), so it is excluded.
 	isDrill := func(name string) bool {
-		return name == FailNIC || name == FailGPU || name == FailServer
+		switch name {
+		case FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC:
+			return true
+		}
+		return false
 	}
 	clean := map[string]*Result{} // backend -> memoized clean run
 	out := make([]Result, 0, len(scenarios)*len(backends))

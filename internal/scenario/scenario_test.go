@@ -49,7 +49,7 @@ func TestTraceReplayMatchesSynthetic(t *testing.T) {
 }
 
 func TestFailureDrills(t *testing.T) {
-	for _, name := range []string{FailNIC, FailGPU, FailServer} {
+	for _, name := range []string{FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC, CopilotDrill} {
 		t.Run(name, func(t *testing.T) {
 			r, err := Run(name, quickCfg())
 			if err != nil {
@@ -67,6 +67,47 @@ func TestFailureDrills(t *testing.T) {
 				t.Errorf("%s overhead %v implausible", name, r.Overhead)
 			}
 		})
+	}
+}
+
+// TestComposedDrillsUnwind: a composed drill's restore must leave the
+// engine-independent cluster state clean — a second, single-failure drill
+// from the same config reproduces its standalone result exactly.
+func TestComposedDrillsUnwind(t *testing.T) {
+	single, err := Run(FailGPU, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(FailNICGPU, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(FailGPU, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.MeanIterTime != again.MeanIterTime {
+		t.Errorf("fail-gpu after composed drill: %.9fs, standalone %.9fs",
+			again.MeanIterTime, single.MeanIterTime)
+	}
+}
+
+// TestCopilotDrillBaseline: the copilot drill's baseline is a copilot-mode
+// clean run, not the block-mode synthetic result.
+func TestCopilotDrillBaseline(t *testing.T) {
+	block, err := Run(Synthetic, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cop, err := Run(CopilotDrill, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cop.BaselineIterTime == block.MeanIterTime {
+		t.Error("copilot drill reused the block-mode baseline")
+	}
+	if cop.BaselineIterTime >= block.MeanIterTime {
+		t.Errorf("copilot clean baseline %.3fs not below block-mode %.3fs (reconfiguration not hidden?)",
+			cop.BaselineIterTime, block.MeanIterTime)
 	}
 }
 
@@ -95,6 +136,9 @@ func TestMatrixAcrossBackends(t *testing.T) {
 		}
 	}
 	for _, r := range results {
+		if r.Scenario == CopilotDrill {
+			continue // measures its own copilot-mode baseline
+		}
 		if r.IsDrill() && r.BaselineIterTime != synth[r.Backend] {
 			t.Errorf("%s/%s: baseline %v != synthetic %v", r.Scenario, r.Backend, r.BaselineIterTime, synth[r.Backend])
 		}

@@ -159,9 +159,10 @@ func TestMixNetReconfigure(t *testing.T) {
 	if len(table) != 1 {
 		t.Errorf("stale circuits survive reconfiguration: %v", table)
 	}
-	// Old circuit links must be detached from adjacency.
+	// Old circuit links must be detached from adjacency (their frozen
+	// simulation fields keep Up for deferred communication steps).
 	for _, l := range c.G.Links {
-		if l.Circuit && l.Up {
+		if l.Circuit && l.Up && !l.Detached {
 			a, b := c.G.Nodes[l.From].Server, c.G.Nodes[l.To].Server
 			if !(a == 0 && b == 1 || a == 1 && b == 0) {
 				t.Fatalf("unexpected live circuit %d-%d", a, b)

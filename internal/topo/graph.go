@@ -66,8 +66,16 @@ type Link struct {
 	To      NodeID
 	Bps     float64 // capacity in bits per second
 	Latency float64 // propagation delay in seconds
-	Up      bool    // false when failed or (for circuits) disconnected
+	Up      bool    // false when failed
 	Circuit bool    // true for OCS/patch-panel optical circuits
+	// Detached marks a circuit torn down by reconfiguration. Detached links
+	// leave the adjacency lists — routing and DAG walks never see them — but
+	// keep their endpoint, capacity and Up fields frozen at teardown, so a
+	// communication step whose routes were compiled while the circuit was
+	// installed still simulates byte-identically after later
+	// reconfigurations rewired the region (batched communication plans defer
+	// simulation past the graph surgery). Link IDs are never reused.
+	Detached bool
 }
 
 // Graph is a mutable directed multigraph.
@@ -164,9 +172,10 @@ func (g *Graph) SetDuplexUp(ab LinkID, up bool) {
 	}
 }
 
-// RemoveCircuits deletes (marks down and detaches) every circuit link whose
-// endpoint region matches region (-1 for all). The links remain allocated
-// (IDs stay stable) but are removed from adjacency so routing ignores them.
+// RemoveCircuits detaches every circuit link whose endpoint region matches
+// region (-1 for all). The links remain allocated (IDs stay stable, and
+// their simulation fields freeze at teardown for deferred communication
+// steps) but are removed from adjacency so routing ignores them.
 func (g *Graph) RemoveCircuits(region int) int {
 	n := 0
 	for i := range g.Links {
@@ -186,14 +195,13 @@ func (g *Graph) RemoveCircuits(region int) int {
 	return n
 }
 
-func (l *Link) detached() bool { return l.From == NoNode }
+func (l *Link) detached() bool { return l.Detached }
 
 func (g *Graph) detachLink(id LinkID) {
 	l := &g.Links[id]
 	g.out[l.From] = removeLinkID(g.out[l.From], id)
 	g.in[l.To] = removeLinkID(g.in[l.To], id)
-	l.From, l.To = NoNode, NoNode
-	l.Up = false
+	l.Detached = true
 }
 
 func removeLinkID(s []LinkID, id LinkID) []LinkID {

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mixnet/internal/collective"
+	"mixnet/internal/commplan"
 	"mixnet/internal/dag"
 	"mixnet/internal/metrics"
 	"mixnet/internal/moe"
@@ -71,6 +72,14 @@ type Options struct {
 	// simulate concurrently with byte-identical results. 0 or 1 keeps the
 	// serial loop; < 0 selects GOMAXPROCS. Ignored by the other backends.
 	Workers int
+	// BatchComm submits every ready frontier of the iteration's
+	// communication plan (see internal/commplan) to the backend as one
+	// batch, so independent steps — different layers' A2As, the DP
+	// all-reduce — simulate concurrently: the packet backend drains all
+	// (step, phase, shard) jobs on its Workers pool and the analytic
+	// backends run a parallel step loop. Off, the plan executes one step at
+	// a time. Results are byte-identical either way.
+	BatchComm bool
 	// Device models OCS reconfiguration latency; nil means the fabric has
 	// no runtime reconfiguration (electrical fabrics, TopoOpt).
 	Device *ocs.Device
@@ -137,6 +146,22 @@ type Engine struct {
 	a2aGen    int
 	a2aGPUs   []topo.NodeID
 	a2aDemand *metrics.Matrix
+
+	// communication plan of the current iteration plus per-layer accounting
+	// records, both reused across iterations (commplan.Plan keeps its
+	// arenas across Reset).
+	cplan *commplan.Plan
+	recs  []layerRec
+}
+
+// layerRec carries one layer's compute model and reconfiguration penalties
+// from the plan-building pass to the accounting pass, plus the plan step
+// IDs of its two all-to-alls.
+type layerRec struct {
+	pt                           dag.PhaseTimes
+	comp                         float64
+	block1, penalty2, bwdPenalty float64
+	a2a1, a2a2                   int
 }
 
 // PhaseBreakdown is Figure 3's per-layer forward timeline.
@@ -195,14 +220,15 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if opts.Source != nil {
 		source = opts.Source
 	}
-	backend, err := netsim.NewWithWorkers(opts.Backend, opts.CC, opts.Workers)
+	backend, err := netsim.NewWithOptions(opts.Backend, opts.CC, opts.Workers, opts.BatchComm)
 	if err != nil {
 		return nil, fmt.Errorf("trainsim: %w", err)
 	}
 	e := &Engine{
 		Model: m, Plan: plan, Cluster: cluster, Place: place,
 		Gate: source, Opts: opts,
-		ctx: collective.NewCtxWithBackend(cluster, backend),
+		ctx:   collective.NewCtxWithBackend(cluster, backend),
+		cplan: commplan.New(),
 	}
 	e.region = -1
 	if len(cluster.Regions) > 0 {
@@ -291,25 +317,20 @@ func (e *Engine) expandedA2A(demand *metrics.Matrix) ([]topo.NodeID, *metrics.Ma
 	return gpus, d
 }
 
-// simulateA2A returns the makespan of one all-to-all with the given demand
-// on the engine's fabric.
-func (e *Engine) simulateA2A(demand *metrics.Matrix) (float64, error) {
+// compileA2A compiles one all-to-all with the given demand into
+// backend-neutral phases routed over the fabric's current circuits. The
+// simulation itself is deferred: the phases become a step of the
+// iteration's communication plan, so routes must be resolved here, while
+// the circuits the demand was planned for are still installed.
+func (e *Engine) compileA2A(demand *metrics.Matrix) (netsim.Phases, error) {
 	useTopoAware := e.Cluster.Kind == topo.FabricMixNet || e.Cluster.Kind == topo.FabricMixNetCPO ||
 		e.Cluster.Kind == topo.FabricTopoOpt
 	if useTopoAware && e.region >= 0 {
 		gpus, _ := e.leaderGPUs()
-		phases, err := collective.TopologyAwareAllToAll(e.ctx, e.region, gpus, demand)
-		if err != nil {
-			return 0, err
-		}
-		return collective.Makespan(e.ctx, phases)
+		return collective.TopologyAwareAllToAll(e.ctx, e.region, gpus, demand)
 	}
 	gpus, d := e.expandedA2A(demand)
-	phases, err := collective.DirectAllToAll(e.ctx, gpus, d)
-	if err != nil {
-		return 0, err
-	}
-	return collective.Makespan(e.ctx, phases)
+	return collective.DirectAllToAll(e.ctx, gpus, d)
 }
 
 // planAndApply runs Algorithm 1 for the representative region on a demand
@@ -360,7 +381,23 @@ func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
 	return d
 }
 
-// RunIteration simulates one training iteration.
+// RunIteration simulates one training iteration. It proceeds in three
+// passes sharing one code path for every backend and entry point:
+//
+//  1. build — the controller loop runs serially (Algorithm 1 mutates the
+//     region's circuits layer by layer) and compiles each all-to-all into a
+//     communication-plan step while its circuits are installed, recording
+//     reconfiguration barriers and penalties;
+//  2. execute — the plan simulates on the netsim backend, either one step
+//     at a time (the serial reference) or, with Options.BatchComm, whole
+//     ready frontiers per Backend.BatchMakespan call so independent layers'
+//     A2As and the DP all-reduce share the worker pool;
+//  3. account — per-layer stage times combine the simulated makespans with
+//     the compute model exactly as the historical inline loop did.
+//
+// Deferring simulation is sound because compiled phases freeze their
+// routes: later reconfigurations detach superseded circuit links from the
+// adjacency but leave their simulation fields intact (see topo.Link).
 func (e *Engine) RunIteration() (IterStats, error) {
 	m, p := e.Model, e.Plan
 	it := e.Gate.Next()
@@ -376,16 +413,18 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	liMax := dag.LayersPerStageMax(m.Blocks, p.PP)
 	stageLayers := dag.StageLayers(m.Blocks, p.PP, 0)
 
-	var fwd, bwd, a2aTot, compTot, blocked float64
+	// Pass 1: build the communication plan.
+	e.cplan.Reset()
+	recs := e.recs[:0]
 	for li := 0; li < liMax && li < len(stageLayers); li++ {
 		l := stageLayers[li]
 		d := it.Layers[l].RankMatrix
 		// Hottest rank share paces expert computation.
 		cols := d.ColSums()
 		share := metrics.Max(cols) / math.Max(d.Total(), 1)
-		pt := dag.ComputeTimes(m, p, e.Opts.Calib, share)
+		rec := layerRec{pt: dag.ComputeTimes(m, p, e.Opts.Calib, share)}
 
-		var block1, penalty2, bwdPenalty float64
+		barrier1, barrier2 := -1, -1
 		if e.controller != nil {
 			// First A2A of the forward pass (§5.1).
 			switch e.Opts.FirstA2A {
@@ -394,7 +433,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 				if err != nil {
 					return stats, err
 				}
-				block1 = delay
+				rec.block1 = delay
 			case FirstA2AReuse:
 				// Keep whatever circuits are installed (previous layer /
 				// previous iteration); no reconfiguration, no block.
@@ -415,15 +454,22 @@ func (e *Engine) RunIteration() (IterStats, error) {
 				}
 				// Proactive: reconfiguration hides under the previous
 				// layer's computation unless it exceeds that window.
-				hideWin := e.Opts.Calib.BackwardFactor * pt.Expert
+				hideWin := e.Opts.Calib.BackwardFactor * rec.pt.Expert
 				if delay > hideWin {
-					block1 = delay - hideWin
+					rec.block1 = delay - hideWin
 				}
 			}
+			if e.Opts.FirstA2A != FirstA2AReuse {
+				barrier1 = e.cplan.Add(commplan.KindBarrier, li, nil, rec.block1)
+			}
 		}
-		a2a1, err := e.simulateA2A(d)
+		phases1, err := e.compileA2A(d)
 		if err != nil {
 			return stats, err
+		}
+		rec.a2a1 = e.cplan.Add(commplan.KindA2A1, li, phases1, 0)
+		if barrier1 >= 0 {
+			e.cplan.AddDep(rec.a2a1, barrier1)
 		}
 
 		if e.controller != nil {
@@ -433,37 +479,32 @@ func (e *Engine) RunIteration() (IterStats, error) {
 			if err != nil {
 				return stats, err
 			}
-			if delay > pt.Expert {
-				penalty2 = delay - pt.Expert
+			if delay > rec.pt.Expert {
+				rec.penalty2 = delay - rec.pt.Expert
 			}
 			// Backward-pass reconfigurations hide under backward compute.
-			bwdWin := e.Opts.Calib.BackwardFactor * (pt.Attention + pt.Expert) / 2
+			bwdWin := e.Opts.Calib.BackwardFactor * (rec.pt.Attention + rec.pt.Expert) / 2
 			if delay > bwdWin {
-				bwdPenalty = 2 * (delay - bwdWin)
+				rec.bwdPenalty = 2 * (delay - bwdWin)
 			}
+			barrier2 = e.cplan.Add(commplan.KindBarrier, li, nil, rec.penalty2)
 		}
 		if e.transposeBuf == nil || e.transposeBuf.Rows != d.Cols || e.transposeBuf.Cols != d.Rows {
 			e.transposeBuf = metrics.NewMatrix(d.Cols, d.Rows)
 		}
 		d.TransposeInto(e.transposeBuf)
-		a2a2, err := e.simulateA2A(e.transposeBuf)
+		phases2, err := e.compileA2A(e.transposeBuf)
 		if err != nil {
 			return stats, err
 		}
-
-		comp := pt.Forward() + e.tpOverEPSPenalty()
-		fwd += comp + a2a1 + a2a2 + block1 + penalty2
-		bwd += e.Opts.Calib.BackwardFactor*comp + a2a1 + a2a2 + bwdPenalty
-		a2aTot += 2 * (a2a1 + a2a2)
-		compTot += comp * (1 + e.Opts.Calib.BackwardFactor)
-		blocked += block1 + penalty2 + bwdPenalty
-
-		if li == 0 {
-			stats.Layer0 = PhaseBreakdown{
-				Attention: pt.Attention, Gate: pt.Gate, A2A1: a2a1,
-				Expert: pt.Expert, A2A2: a2a2, AddNorm: pt.AddNorm,
-			}
+		rec.a2a2 = e.cplan.Add(commplan.KindA2A2, li, phases2, 0)
+		if barrier2 >= 0 {
+			e.cplan.AddDep(rec.a2a2, barrier2)
 		}
+
+		rec.comp = rec.pt.Forward() + e.tpOverEPSPenalty()
+		recs = append(recs, rec)
+
 		// Copilot online learning.
 		if e.estimators != nil {
 			if l > 0 {
@@ -472,6 +513,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 			}
 		}
 	}
+	e.recs = recs
 	if e.controller != nil {
 		d0 := it.Layers[0].RankMatrix
 		if e.prevLayer0 == nil || e.prevLayer0.Rows != d0.Rows || e.prevLayer0.Cols != d0.Cols {
@@ -479,6 +521,38 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		}
 		e.prevLayer0.CopyFrom(d0)
 		e.havePrev = true
+	}
+	dpStep := -1
+	if p.DP > 1 && !e.Opts.DisableDP {
+		var err error
+		if dpStep, err = e.compileDPAllReduce(); err != nil {
+			return stats, err
+		}
+	}
+
+	// Pass 2: simulate the plan.
+	if err := e.cplan.Execute(e.Cluster.G, e.ctx.Backend(), e.Opts.BatchComm); err != nil {
+		return stats, err
+	}
+
+	// Pass 3: accounting — the historical inline float sequence, fed by the
+	// plan's per-step makespans.
+	var fwd, bwd, a2aTot, compTot, blocked float64
+	for li := range e.recs {
+		rec := &e.recs[li]
+		a2a1 := e.cplan.Step(rec.a2a1).Makespan
+		a2a2 := e.cplan.Step(rec.a2a2).Makespan
+		fwd += rec.comp + a2a1 + a2a2 + rec.block1 + rec.penalty2
+		bwd += e.Opts.Calib.BackwardFactor*rec.comp + a2a1 + a2a2 + rec.bwdPenalty
+		a2aTot += 2 * (a2a1 + a2a2)
+		compTot += rec.comp * (1 + e.Opts.Calib.BackwardFactor)
+		blocked += rec.block1 + rec.penalty2 + rec.bwdPenalty
+		if li == 0 {
+			stats.Layer0 = PhaseBreakdown{
+				Attention: rec.pt.Attention, Gate: rec.pt.Gate, A2A1: a2a1,
+				Expert: rec.pt.Expert, A2A2: a2a2, AddNorm: rec.pt.AddNorm,
+			}
+		}
 	}
 
 	// Pipeline activation transfer per slot (analytic, EPS path).
@@ -496,25 +570,22 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	stats.Time = dag.PipelineIterationTime(stats.FwdStage, stats.BwdStage, p.NumMicroBatch, p.PP)
 
 	// DP gradient all-reduce across replicas (§5.3 hierarchical scheme).
-	if p.DP > 1 && !e.Opts.DisableDP {
-		dpTime, err := e.dpAllReduce()
-		if err != nil {
-			return stats, err
-		}
-		stats.DPTime = dpTime
-		stats.Time += dpTime
+	if dpStep >= 0 {
+		stats.DPTime = e.cplan.Step(dpStep).Makespan
+		stats.Time += stats.DPTime
 	}
 	return stats, nil
 }
 
-// dpAllReduce simulates the hierarchical gradient all-reduce: corresponding
-// servers of each replica form rings; phases are merged across groups so
-// the shared EPS fabric sees the full load.
-func (e *Engine) dpAllReduce() (float64, error) {
+// compileDPAllReduce compiles the hierarchical gradient all-reduce into one
+// plan step: corresponding servers of each replica form rings; phases are
+// merged across groups so the shared EPS fabric sees the full load. Returns
+// the step ID, or -1 when the configuration has nothing to reduce.
+func (e *Engine) compileDPAllReduce() (int, error) {
 	p := e.Plan
 	serversPerReplica := len(e.Cluster.Servers) / p.DP
 	if serversPerReplica == 0 {
-		return 0, nil
+		return -1, nil
 	}
 	perServer := e.Model.GradBytes() / float64(serversPerReplica)
 	merged := make(collective.Phases, 3)
@@ -525,7 +596,7 @@ func (e *Engine) dpAllReduce() (float64, error) {
 		}
 		phases, err := collective.HierarchicalAllReduce(e.ctx, group, 0, perServer)
 		if err != nil {
-			return 0, err
+			return -1, err
 		}
 		for i, fs := range phases {
 			if i < len(merged) {
@@ -533,8 +604,14 @@ func (e *Engine) dpAllReduce() (float64, error) {
 			}
 		}
 	}
-	return collective.Makespan(e.ctx, merged)
+	return e.cplan.Add(commplan.KindDP, -1, merged, 0), nil
 }
+
+// CommPlan exposes the communication plan of the most recently simulated
+// iteration: step kinds, dependencies, per-step makespans and the batch
+// widths Execute submitted. Valid until the next RunIteration; callers must
+// not mutate it.
+func (e *Engine) CommPlan() *commplan.Plan { return e.cplan }
 
 // Run simulates n iterations and returns their stats.
 func (e *Engine) Run(n int) ([]IterStats, error) {

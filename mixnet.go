@@ -67,6 +67,13 @@ type SimConfig struct {
 	// link-disjoint flows simulate concurrently, byte-identical results).
 	// 0 or 1 = serial, < 0 = GOMAXPROCS. Ignored by the other backends.
 	Workers int
+	// Batch compiles each training iteration into a communication plan
+	// (internal/commplan) and submits ready frontiers of independent steps
+	// — different layers' all-to-alls, the DP all-reduce — to the backend
+	// as one batch, so the packet backend's Workers pool drains jobs across
+	// steps and the analytic backends run a parallel step loop. Iteration
+	// results are byte-identical with and without Batch.
+	Batch bool
 	// LinkGbps is the NIC line rate in Gbit/s (default 400).
 	LinkGbps float64
 	// DP scales the cluster by replicating the model (default 1).
@@ -131,7 +138,7 @@ func Simulate(cfg SimConfig) (Result, error) {
 	}
 	engine, err := scenario.NewEngine(scenario.Config{
 		Model: cfg.Model, Fabric: fabricName, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
+		Workers: cfg.Workers, Batch: cfg.Batch, LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
 		FirstA2A: cfg.FirstA2A, ReconfigDelaySec: cfg.ReconfigDelaySec,
 	})
 	if err != nil {
