@@ -9,9 +9,10 @@
 //	mixnet-bench -par 8          # worker-pool width (default GOMAXPROCS)
 //	mixnet-bench -workers 8      # packet-backend shard parallelism
 //	mixnet-bench -batch          # batched communication plans (byte-identical)
+//	mixnet-bench -fold           # symmetry-folded topology builds (byte-identical)
 //	mixnet-bench -json           # also write BENCH_<scale>.json
 //	mixnet-bench -sweep          # every backend, one combined fidelity report
-//	mixnet-bench -scale large    # analytic-ecmp at 8k-32k GPUs -> BENCH_large_ecmp.json
+//	mixnet-bench -scale large    # analytic backends at 8k-256k GPUs -> BENCH_large_ecmp.json
 //
 // Experiments run concurrently on a worker pool; output order and table
 // contents are identical to a sequential run regardless of -par.
@@ -39,6 +40,7 @@ type benchReport struct {
 	Workers      int               `json:"workers"`
 	SimWorkers   int               `json:"sim_workers,omitempty"`
 	Batch        bool              `json:"batch,omitempty"`
+	Fold         bool              `json:"fold,omitempty"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Experiments  []benchExperiment `json:"experiments"`
 }
@@ -82,7 +84,8 @@ func main() {
 		par        = flag.Int("par", 0, "worker-pool width across experiments (0 = GOMAXPROCS)")
 		simWorkers = flag.Int("workers", 0, "packet-backend parallel shard event loops per engine (0/1 = serial, -1 = GOMAXPROCS)")
 		batch      = flag.Bool("batch", false, "batch each iteration's communication plan across independent steps (byte-identical results)")
-		scaleFlag  = flag.String("scale", "", "large: quantify analytic-ecmp vs fluid at 8k-32k GPU scale and write BENCH_large_ecmp.json")
+		foldFlag   = flag.Bool("fold", false, "build 3-tier electrical fabrics symmetry-folded (lazy pods/servers, byte-identical results)")
+		scaleFlag  = flag.String("scale", "", "large: quantify the analytic backends at 8k-256k GPU scale and write BENCH_large_ecmp.json")
 		sweep      = flag.Bool("sweep", false, "run the selected experiments on every backend and emit one combined fidelity report")
 		jsonOut    = flag.Bool("json", false, "write machine-readable BENCH_<scale>.json")
 		jsonPath   = flag.String("json-path", "", "override the BENCH_*.json output path")
@@ -101,6 +104,7 @@ func main() {
 	}
 	experiments.SetDefaultSimWorkers(*simWorkers)
 	experiments.SetDefaultBatch(*batch)
+	experiments.SetDefaultFold(*foldFlag)
 
 	if *scaleFlag != "" {
 		if *scaleFlag != "large" {
@@ -146,7 +150,7 @@ func main() {
 	report := benchReport{
 		Scale: scaleName, Backend: experiments.DefaultBackend(),
 		Workers: workers, SimWorkers: experiments.DefaultSimWorkers(),
-		Batch: experiments.DefaultBatch(),
+		Batch: experiments.DefaultBatch(), Fold: experiments.DefaultFold(),
 	}
 	if *cc != "" {
 		report.CC = experiments.DefaultCC()
@@ -201,11 +205,12 @@ type largeEcmpReport struct {
 	Rows  []experiments.LargeEcmpRow `json:"rows"`
 }
 
-// runLargeEcmp quantifies the analytic-ecmp backend at 8k-32k GPU scale —
-// the ROADMAP follow-up the -scale large path exists for — printing the
-// collision-bound/runtime table and writing BENCH_large_ecmp.json.
+// runLargeEcmp quantifies the analytic backends at 8k-256k GPU scale —
+// eager and symmetry-folded builds up to 32k (makespans verified bitwise
+// identical), folded-only beyond — printing the build/compile/heap and
+// collision-bound table and writing BENCH_large_ecmp.json.
 func runLargeEcmp(path string) error {
-	t, rows, err := experiments.LargeScaleEcmp([]int{8192, 16384, 32768}, 64, 64<<20)
+	t, rows, err := experiments.LargeScaleEcmp([]int{8192, 16384, 32768, 102400, 163840, 262144}, 64, 64<<20)
 	if err != nil {
 		return err
 	}

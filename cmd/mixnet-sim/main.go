@@ -8,6 +8,7 @@
 //	mixnet-sim -backend packet -workers 8            # sharded packet fidelity
 //	mixnet-sim -backend packet -workers 8 -batch     # + cross-step batched comm plans
 //	mixnet-sim -scenario trace -backend packet       # trace replay at packet fidelity
+//	mixnet-sim -fabric fat-tree -fold                # symmetry-folded topology build
 //	mixnet-sim -scenario fail-nic+fail-gpu           # composed multi-failure drill
 //	mixnet-sim -scenario matrix -backends fluid,packet,analytic
 package main
@@ -30,6 +31,7 @@ func main() {
 		cc       = flag.String("cc", "", "packet-backend congestion control: fixed | dcqcn | swift")
 		workers  = flag.Int("workers", 0, "packet-backend parallel shard event loops (0/1 = serial, -1 = GOMAXPROCS)")
 		batch    = flag.Bool("batch", false, "batch each iteration's communication plan: independent layer A2As and the DP all-reduce simulate concurrently (byte-identical results)")
+		fold     = flag.Bool("fold", false, "build 3-tier electrical fabrics symmetry-folded: identical pods/servers materialize lazily (byte-identical results)")
 		gbps     = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
 		dp       = flag.Int("dp", 1, "data-parallel replicas")
 		iters    = flag.Int("iters", 3, "iterations to simulate")
@@ -52,7 +54,7 @@ func main() {
 	if *scen != "" {
 		runScenario(*scen, *backends, scenario.Config{
 			Model: *model, Fabric: strings.ToLower(*fabric), Backend: *backend,
-			CC: *cc, Workers: *workers, Batch: *batch, LinkGbps: *gbps, DP: *dp,
+			CC: *cc, Workers: *workers, Batch: *batch, Fold: *fold, LinkGbps: *gbps, DP: *dp,
 			Iterations: *iters, Seed: *seed, FirstA2A: *mode,
 			ReconfigDelaySec: *delay / 1e3,
 		})
@@ -65,7 +67,7 @@ func main() {
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
 		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, Workers: *workers,
-		Batch: *batch, LinkGbps: *gbps, DP: *dp,
+		Batch: *batch, Fold: *fold, LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})

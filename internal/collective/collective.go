@@ -33,6 +33,8 @@ type Ctx struct {
 	nextID  int
 	pairSeq map[pairKey]uint8 // per-(src,dst) rotating ECMP salt
 	backend netsim.Backend
+	memo    *compileMemo  // compiled-phase cache (memo.go); nil = disabled
+	rec     *pairRecorder // active salt-draw recording, if any
 }
 
 // pairKey identifies an ordered endpoint pair for ECMP salt rotation.
@@ -57,11 +59,33 @@ func NewCtxWithBackend(c *topo.Cluster, b netsim.Backend) *Ctx {
 	if b == nil {
 		b = netsim.NewFluid()
 	}
-	return &Ctx{Cluster: c, Router: topo.NewBFSRouter(c.G), pairSeq: make(map[pairKey]uint8), backend: b}
+	return &Ctx{
+		Cluster: c, Router: topo.NewBFSRouter(c.G),
+		pairSeq: make(map[pairKey]uint8), backend: b,
+		memo: newCompileMemo(),
+	}
 }
 
 // Backend returns the netsim backend the context simulates on.
 func (ctx *Ctx) Backend() netsim.Backend { return ctx.backend }
+
+// SetMemo enables or disables memoized compilation (on by default).
+// Disabling drops the cache; results are byte-identical either way.
+func (ctx *Ctx) SetMemo(on bool) {
+	if on && ctx.memo == nil {
+		ctx.memo = newCompileMemo()
+	} else if !on {
+		ctx.memo = nil
+	}
+}
+
+// MemoStats returns the compile-cache hit/miss/bypass counters.
+func (ctx *Ctx) MemoStats() MemoStats {
+	if ctx.memo == nil {
+		return MemoStats{}
+	}
+	return ctx.memo.stats
+}
 
 // nextSalt returns the rotating ECMP salt for a pair and advances it.
 func (ctx *Ctx) nextSalt(src, dst topo.NodeID) uint64 {
@@ -71,6 +95,9 @@ func (ctx *Ctx) nextSalt(src, dst topo.NodeID) uint64 {
 	k := pairKey{src, dst}
 	s := ctx.pairSeq[k]
 	ctx.pairSeq[k] = (s + 1) % ecmpSpread
+	if ctx.rec != nil {
+		ctx.rec.note(k, s)
+	}
 	return uint64(s)
 }
 
@@ -140,14 +167,20 @@ func RingAllReduce(ctx *Ctx, gpus []topo.NodeID, bytes float64) (Phases, error) 
 // participating server indices; gatewayGPU selects which local GPU fronts
 // the EPS NIC (usually 0).
 func HierarchicalAllReduce(ctx *Ctx, servers []int, gatewayGPU int, bytes float64) (Phases, error) {
-	c := ctx.Cluster
 	if len(servers) == 0 || bytes <= 0 {
 		return nil, nil
 	}
+	return memoized(ctx, memoHier, hierShape(servers, gatewayGPU, bytes), func() (Phases, error) {
+		return hierarchicalAllReduce(ctx, servers, gatewayGPU, bytes)
+	})
+}
+
+func hierarchicalAllReduce(ctx *Ctx, servers []int, gatewayGPU int, bytes float64) (Phases, error) {
+	c := ctx.Cluster
 	var reduce, bcast []*netsim.Flow
 	gateways := make([]topo.NodeID, len(servers))
 	for si, s := range servers {
-		srv := &c.Servers[s]
+		srv := c.Server(s)
 		gw := srv.GPUs[gatewayGPU%len(srv.GPUs)]
 		gateways[si] = gw
 		for _, g := range srv.GPUs {
@@ -190,6 +223,12 @@ func HierarchicalAllReduce(ctx *Ctx, servers []int, gatewayGPU int, bytes float6
 // DirectAllToAll compiles the baseline all-to-all: rank i streams
 // demand[i][j] straight to rank j's GPU over whatever fabric routing finds.
 func DirectAllToAll(ctx *Ctx, gpus []topo.NodeID, demand *metrics.Matrix) (Phases, error) {
+	return memoized(ctx, memoDirect, directShape(gpus, demand), func() (Phases, error) {
+		return directAllToAll(ctx, gpus, demand)
+	})
+}
+
+func directAllToAll(ctx *Ctx, gpus []topo.NodeID, demand *metrics.Matrix) (Phases, error) {
 	var fs []*netsim.Flow
 	for i := 0; i < demand.Rows; i++ {
 		for j := 0; j < demand.Cols; j++ {
@@ -220,7 +259,7 @@ func delegateGPU(c *topo.Cluster, nic topo.NodeID) topo.NodeID {
 	if node.Kind == topo.KindGPU {
 		return nic
 	}
-	srv := &c.Servers[node.Server]
+	srv := c.Server(node.Server)
 	// Find the NIC's index within the server.
 	for _, sn := range srv.NICs {
 		if sn.Node == nic {

@@ -23,6 +23,7 @@ package commplan
 
 import (
 	"fmt"
+	"slices"
 
 	"mixnet/internal/netsim"
 	"mixnet/internal/topo"
@@ -88,6 +89,45 @@ type Plan struct {
 	batch    []netsim.Phases
 	batchIDs []int32
 	widths   []int
+
+	// CSR reuse: a training loop rebuilds the same DAG every iteration, so
+	// Execute snapshots the dependency structure after a CSR build and skips
+	// the rebuild while it matches (succ/succOff are untouched by the drain;
+	// only indeg is consumed, restored from the pristine copy).
+	csrOK    bool
+	prevDeps []int32
+	prevMeta []int64 // per step: depOff<<32 | depLen
+	indeg0   []int32
+	stats    Stats
+}
+
+// Stats reports the plan's scheduling and compile-cache counters. Steps and
+// the CSR counters are maintained by Execute; the compile-cache counters and
+// fold factor are forwarded from the collective compiler via
+// SetCompileStats.
+type Stats struct {
+	Steps      int     // steps in the current plan
+	CSRBuilds  uint64  // Execute calls that rebuilt the successor CSR
+	CSRReuses  uint64  // Execute calls that reused the previous CSR
+	Hits       uint64  // collective compile-cache replays
+	Misses     uint64  // collective compile-cache fresh compiles
+	Bypasses   uint64  // cache entries skipped on salt-state divergence
+	FoldFactor float64 // topology fold factor (1 = fully materialized)
+}
+
+// Stats returns the counters accumulated since the plan was created.
+func (p *Plan) Stats() Stats {
+	s := p.stats
+	s.Steps = len(p.steps)
+	return s
+}
+
+// SetCompileStats forwards the collective compiler's memoization counters
+// and the cluster's fold factor so callers can read everything through one
+// plan handle.
+func (p *Plan) SetCompileStats(hits, misses, bypasses uint64, foldFactor float64) {
+	p.stats.Hits, p.stats.Misses, p.stats.Bypasses = hits, misses, bypasses
+	p.stats.FoldFactor = foldFactor
 }
 
 // New returns an empty reusable plan.
@@ -182,6 +222,40 @@ func (p *Plan) grow(n int) {
 	}
 }
 
+// csrSame reports whether the current dependency structure matches the one
+// the successor CSR was last built from: same step count, same per-step
+// arena views, same arena content. A match implies grow performed no
+// reallocation (the previous build already demanded the same capacities), so
+// succ/succOff still hold that build's output.
+func (p *Plan) csrSame(n int) bool {
+	if !p.csrOK || n != len(p.prevMeta) || len(p.deps) != len(p.prevDeps) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		s := &p.steps[i]
+		if p.prevMeta[i] != int64(s.depOff)<<32|int64(s.depLen) {
+			return false
+		}
+	}
+	return slices.Equal(p.deps, p.prevDeps)
+}
+
+// snapshotCSR records the dependency structure and pristine indegrees after
+// a CSR build so the next Execute can skip the rebuild.
+func (p *Plan) snapshotCSR(n int, indeg []int32) {
+	p.prevDeps = append(p.prevDeps[:0], p.deps...)
+	p.indeg0 = append(p.indeg0[:0], indeg...)
+	if cap(p.prevMeta) < n {
+		p.prevMeta = make([]int64, n)
+	}
+	p.prevMeta = p.prevMeta[:n]
+	for i := 0; i < n; i++ {
+		s := &p.steps[i]
+		p.prevMeta[i] = int64(s.depOff)<<32 | int64(s.depLen)
+	}
+	p.csrOK = true
+}
+
 // Execute simulates the plan on b over g. With batch set, every frontier of
 // ready simulated steps is submitted as one BatchMakespan call (barriers
 // resolve for free and immediately release their successors); without it,
@@ -197,38 +271,47 @@ func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
 	}
 	p.grow(n)
 	indeg := p.indeg[:n]
-	// Build the successor CSR from the dependency arena: succ lists, per
-	// step, the steps that wait on it.
 	succOff := p.succOff[:n+1]
-	for i := range succOff {
-		succOff[i] = 0
-	}
-	for i := range indeg {
-		indeg[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		for _, d := range p.Deps(i) {
-			succOff[d]++
-			indeg[i]++
-		}
-	}
-	var sum int32
-	for i := 0; i < n; i++ {
-		c := succOff[i]
-		succOff[i] = sum
-		sum += c
-	}
-	succOff[n] = sum
 	succ := p.succ[:len(p.deps)]
-	// Fill cursors advance succOff; it is rebuilt below.
-	for i := 0; i < n; i++ {
-		for _, d := range p.Deps(i) {
-			succ[succOff[d]] = int32(i)
-			succOff[d]++
+	if p.csrSame(n) {
+		// Same DAG as the last build: succ/succOff still hold its CSR (the
+		// drain below never writes them), only indeg needs restoring.
+		copy(indeg, p.indeg0[:n])
+		p.stats.CSRReuses++
+	} else {
+		// Build the successor CSR from the dependency arena: succ lists, per
+		// step, the steps that wait on it.
+		for i := range succOff {
+			succOff[i] = 0
 		}
+		for i := range indeg {
+			indeg[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for _, d := range p.Deps(i) {
+				succOff[d]++
+				indeg[i]++
+			}
+		}
+		var sum int32
+		for i := 0; i < n; i++ {
+			c := succOff[i]
+			succOff[i] = sum
+			sum += c
+		}
+		succOff[n] = sum
+		// Fill cursors advance succOff; succOff[i] ends up holding the end of
+		// i's successor range (start = previous end), which is the layout the
+		// drain and the reuse path both read.
+		for i := 0; i < n; i++ {
+			for _, d := range p.Deps(i) {
+				succ[succOff[d]] = int32(i)
+				succOff[d]++
+			}
+		}
+		p.snapshotCSR(n, indeg)
+		p.stats.CSRBuilds++
 	}
-	// succOff[i] now holds the end of i's successor range; start is the
-	// previous end.
 	succStart := func(i int) int32 {
 		if i == 0 {
 			return 0

@@ -143,8 +143,8 @@ func AblationNUMAPermute() (Table, error) {
 	spec := topo.DefaultSpec(8, 100*topo.Gbps)
 	run := func(balanced bool) (float64, error) {
 		c := topo.BuildMixNet(spec)
-		s0 := c.Servers[0].OCSNICs()
-		s1 := c.Servers[1].OCSNICs()
+		s0 := c.Server(0).OCSNICs()
+		s1 := c.Server(1).OCSNICs()
 		pick := func(nics []topo.NIC) []topo.NIC {
 			if balanced {
 				return nics // builder alternates NUMA by index
@@ -174,8 +174,8 @@ func AblationNUMAPermute() (Table, error) {
 		r := topo.NewBFSRouter(c.G)
 		var flows []*flowsim.Flow
 		for i, p := range pairs {
-			srcGPU := c.Servers[0].GPUs[i]
-			dstGPU := c.Servers[1].GPUs[i]
+			srcGPU := c.Server(0).GPUs[i]
+			dstGPU := c.Server(1).GPUs[i]
 			head, err := r.Route(srcGPU, p.A, uint64(i))
 			if err != nil {
 				return 0, err

@@ -100,6 +100,18 @@ func SetDefaultBatch(on bool) { defaultBatch = on }
 // plans.
 func DefaultBatch() bool { return defaultBatch }
 
+// defaultFold builds every experiment cluster with symmetry folding
+// (topo.Spec.Fold) and keeps its engine lazy. Like defaultBackend it is set
+// once before a run; results are byte-identical with and without it.
+var defaultFold bool
+
+// SetDefaultFold selects symmetry-folded topology construction for all
+// experiment clusters. Call it before Run/RunIDs, not concurrently with them.
+func SetDefaultFold(on bool) { defaultFold = on }
+
+// DefaultFold returns whether experiment clusters build symmetry-folded.
+func DefaultFold() bool { return defaultFold }
+
 // newEngine builds a training engine, applying the package default backend,
 // congestion controller, packet shard parallelism and communication-plan
 // batching when opts doesn't name them.
@@ -115,6 +127,9 @@ func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.O
 	}
 	if defaultBatch {
 		opts.BatchComm = true
+	}
+	if defaultFold {
+		opts.Fold = true
 	}
 	return trainsim.New(m, plan, c, opts)
 }
@@ -198,6 +213,7 @@ func buildCluster(kind topo.FabricKind, servers int, gbps float64, plan moe.Trai
 	spec := topo.DefaultSpec(servers, gbps)
 	spec.SwitchRadix = 16
 	spec.RegionServers = parallel.RegionServersPerEPGroup(plan, spec.GPUsPerServer)
+	spec.Fold = defaultFold
 	switch kind {
 	case topo.FabricOverSubFatTree:
 		spec.Oversub = 3

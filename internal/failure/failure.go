@@ -23,7 +23,7 @@ func FailEPSNICs(c *topo.Cluster, server, count int) (Restore, error) {
 	if server < 0 || server >= len(c.Servers) {
 		return nil, fmt.Errorf("failure: server %d out of range", server)
 	}
-	eps := c.Servers[server].EPSNICs()
+	eps := c.Server(server).EPSNICs()
 	if count > len(eps) {
 		return nil, fmt.Errorf("failure: server %d has %d EPS NICs, cannot fail %d", server, len(eps), count)
 	}
@@ -49,7 +49,7 @@ func FailEPSNICs(c *topo.Cluster, server, count int) (Restore, error) {
 // FailOCSNIC downs one OCS-attached NIC of a server; circuits terminating
 // there go dark until the controller replans (EPS serves as fallback).
 func FailOCSNIC(c *topo.Cluster, server, idx int) (Restore, error) {
-	ocsNICs := c.Servers[server].OCSNICs()
+	ocsNICs := c.Server(server).OCSNICs()
 	if idx < 0 || idx >= len(ocsNICs) {
 		return nil, fmt.Errorf("failure: server %d OCS NIC %d out of range", server, idx)
 	}
@@ -78,7 +78,8 @@ func FailGPU(e *trainsim.Engine, ep, tp, backupServer int) (Restore, error) {
 	if backupServer < 0 || backupServer >= len(c.Servers) {
 		return nil, fmt.Errorf("failure: backup server %d out of range", backupServer)
 	}
-	backup := c.Servers[backupServer].GPUs[tp%len(c.Servers[backupServer].GPUs)]
+	backupGPUs := c.Server(backupServer).GPUs
+	backup := backupGPUs[tp%len(backupGPUs)]
 	orig, err := e.FailGPU(ep, tp, backup)
 	if err != nil {
 		return nil, err

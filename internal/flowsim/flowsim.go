@@ -57,15 +57,16 @@ type Sim struct {
 }
 
 // linkArena is the dense per-link state for progressive filling: slices
-// indexed by LinkID, validity tracked by an epoch stamp so reset is O(1)
-// and only links actually crossed by active flows (the touched list) are
-// ever visited.
+// indexed by link storage slot (topo.Graph.LinkIndex — the identity on
+// eager graphs, so folded graphs only pay for materialized links),
+// validity tracked by an epoch stamp so reset is O(1) and only links
+// actually crossed by active flows (the touched list) are ever visited.
 type linkArena struct {
 	epoch   uint32
-	stamp   []uint32      // stamp[l] == epoch => cap/count valid for l
+	stamp   []uint32      // stamp[l] == epoch => cap/count valid for slot l
 	cap     []float64     // remaining capacity, bytes/s
 	count   []int32       // unfrozen flows crossing the link
-	touched []topo.LinkID // links referenced by the current active set
+	touched []topo.LinkID // link storage slots referenced by the active set
 }
 
 // reset prepares the arena for a graph with nLinks links and starts a new
@@ -229,13 +230,14 @@ func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
 		f.frozen = false
 		f.rate = 0
 		for _, lid := range f.Path {
-			if a.stamp[lid] != epoch {
-				a.stamp[lid] = epoch
-				a.cap[lid] = g.Links[lid].Bps / 8
-				a.count[lid] = 0
-				a.touched = append(a.touched, lid)
+			li := g.LinkIndex(lid)
+			if a.stamp[li] != epoch {
+				a.stamp[li] = epoch
+				a.cap[li] = g.Links[li].Bps / 8
+				a.count[li] = 0
+				a.touched = append(a.touched, topo.LinkID(li))
 			}
-			a.count[lid]++
+			a.count[li]++
 		}
 	}
 	unfrozen := len(active)
@@ -270,7 +272,8 @@ func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
 			}
 			bottled := false
 			for _, lid := range f.Path {
-				if c := a.count[lid]; c > 0 && a.cap[lid]/float64(c) <= min*(1+1e-12) {
+				li := g.LinkIndex(lid)
+				if c := a.count[li]; c > 0 && a.cap[li]/float64(c) <= min*(1+1e-12) {
 					bottled = true
 					break
 				}
@@ -282,11 +285,12 @@ func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
 			f.frozen = true
 			unfrozen--
 			for _, lid := range f.Path {
-				a.cap[lid] -= min
-				if a.cap[lid] < 0 {
-					a.cap[lid] = 0
+				li := g.LinkIndex(lid)
+				a.cap[li] -= min
+				if a.cap[li] < 0 {
+					a.cap[li] = 0
 				}
-				a.count[lid]--
+				a.count[li]--
 			}
 		}
 	}

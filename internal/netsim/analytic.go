@@ -44,9 +44,9 @@ type Analytic struct {
 	ecmp    bool
 	router  *topo.BFSRouter // distance fields for ECMP candidate sets
 	epoch   uint32
-	stamp   []uint32
-	load    []float64 // bytes routed over the link this phase
-	touched []topo.LinkID
+	stamp   []uint32      // indexed by link storage slot (topo.Graph.LinkIndex)
+	load    []float64     // bytes routed over the link this phase, by slot
+	touched []topo.LinkID // storage slots charged this phase
 
 	// per-flow fractional-routing scratch (ECMP spreading): the byte
 	// fraction reaching each node of the shortest-path DAG, epoch-stamped so
@@ -67,9 +67,9 @@ type Analytic struct {
 	errs  []error
 }
 
-// pendCharge is one buffered fractional link charge.
+// pendCharge is one buffered fractional link charge (by storage slot).
 type pendCharge struct {
-	lid   topo.LinkID
+	li    int32
 	bytes float64
 }
 
@@ -103,23 +103,23 @@ func (a *Analytic) reset(nLinks int) {
 	a.touched = a.touched[:0]
 }
 
-// add charges bytes to a link in the current arena epoch.
-func (a *Analytic) add(lid topo.LinkID, bytes float64) {
-	if a.stamp[lid] != a.epoch {
-		a.stamp[lid] = a.epoch
-		a.load[lid] = 0
-		a.touched = append(a.touched, lid)
+// add charges bytes to a link storage slot in the current arena epoch.
+func (a *Analytic) add(li int32, bytes float64) {
+	if a.stamp[li] != a.epoch {
+		a.stamp[li] = a.epoch
+		a.load[li] = 0
+		a.touched = append(a.touched, topo.LinkID(li))
 	}
-	a.load[lid] += bytes
+	a.load[li] += bytes
 }
 
 // chargeSampled charges a flow's full bytes to every link of its sampled
 // path — the pre-ECMP behaviour, and the fallback when the sampled path is
 // not a shortest path (circuit detours, post-failure reroutes): the ECMP
 // hash had no equal-cost choice there.
-func (a *Analytic) chargeSampled(f *Flow) {
+func (a *Analytic) chargeSampled(g *topo.Graph, f *Flow) {
 	for _, lid := range f.Path {
-		a.add(lid, f.Bytes)
+		a.add(g.LinkIndex(lid), f.Bytes)
 	}
 }
 
@@ -149,9 +149,11 @@ func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
 	}
 	dst := g.Link(f.Path[len(f.Path)-1]).To
 	src := g.Link(f.Path[0]).From
+	// DistanceField is indexed by node storage slot and always covers every
+	// materialized node (it recomputes when a folded graph grows).
 	d := a.router.DistanceField(dst)
-	if int(d[src]) != len(f.Path) {
-		a.chargeSampled(f) // sampled path is not shortest: no ECMP choice
+	if int(d[g.NodeIndex(src)]) != len(f.Path) {
+		a.chargeSampled(g, f) // sampled path is not shortest: no ECMP choice
 		return
 	}
 	if len(a.fracStamp) < len(g.Nodes) {
@@ -165,18 +167,19 @@ func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
 	}
 	epoch := a.fracEpoch
 	reach := func(n topo.NodeID) *float64 {
-		if a.fracStamp[n] != epoch {
-			a.fracStamp[n] = epoch
-			a.frac[n] = 0
+		ni := g.NodeIndex(n)
+		if a.fracStamp[ni] != epoch {
+			a.fracStamp[ni] = epoch
+			a.frac[ni] = 0
 		}
-		return &a.frac[n]
+		return &a.frac[ni]
 	}
 	cur := a.level[0][:0]
 	next := a.level[1][:0]
 	pend := a.pend[:0]
 	*reach(src) = 1
 	cur = append(cur, src)
-	for dist := d[src]; dist > 0 && len(cur) > 0; dist-- {
+	for dist := d[g.NodeIndex(src)]; dist > 0 && len(cur) > 0; dist-- {
 		next = next[:0]
 		for _, n := range cur {
 			share := *reach(n)
@@ -186,7 +189,7 @@ func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
 			ncand := 0
 			for _, cand := range g.Out(n) {
 				cl := g.Link(cand)
-				if cl.Up && cl.Bps > 0 && d[cl.To] == dist-1 {
+				if cl.Up && cl.Bps > 0 && d[g.NodeIndex(cl.To)] == dist-1 {
 					ncand++
 				}
 			}
@@ -195,14 +198,15 @@ func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
 				// way down): drop the buffered fractional charges and fall
 				// back to the sampled path for the whole flow.
 				a.level[0], a.level[1], a.pend = cur[:0], next[:0], pend[:0]
-				a.chargeSampled(f)
+				a.chargeSampled(g, f)
 				return
 			}
 			part := share / float64(ncand)
 			for _, cand := range g.Out(n) {
-				cl := g.Link(cand)
-				if cl.Up && cl.Bps > 0 && d[cl.To] == dist-1 {
-					pend = append(pend, pendCharge{cand, part * f.Bytes})
+				cli := g.LinkIndex(cand)
+				cl := &g.Links[cli]
+				if cl.Up && cl.Bps > 0 && d[g.NodeIndex(cl.To)] == dist-1 {
+					pend = append(pend, pendCharge{cli, part * f.Bytes})
 					to := reach(cl.To)
 					if *to == 0 {
 						next = append(next, cl.To)
@@ -215,7 +219,7 @@ func (a *Analytic) chargeECMP(g *topo.Graph, f *Flow) {
 		cur, next = next, cur
 	}
 	for _, pc := range pend {
-		a.add(pc.lid, pc.bytes)
+		a.add(pc.li, pc.bytes)
 	}
 	a.level[0], a.level[1], a.pend = cur[:0], next[:0], pend[:0]
 }
@@ -239,7 +243,8 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 			// instead of silently yielding +Inf/NaN makespans.
 			bottleneck, latency := math.Inf(1), 0.0
 			for _, lid := range f.Path {
-				l := g.Link(lid)
+				li := g.LinkIndex(lid)
+				l := &g.Links[li]
 				if !l.Up {
 					return 0, fmt.Errorf("netsim: flow %d uses down link %d", f.ID, lid)
 				}
@@ -252,7 +257,7 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 				}
 				latency += l.Latency
 				if !a.ecmp {
-					a.add(lid, f.Bytes)
+					a.add(li, f.Bytes)
 				}
 			}
 			if a.ecmp && len(f.Path) > 0 {
@@ -265,9 +270,10 @@ func (a *Analytic) Makespan(g *topo.Graph, phases Phases) (float64, error) {
 				phase = t
 			}
 		}
-		// Bandwidth bound over every touched link.
-		for _, lid := range a.touched {
-			if t := a.load[lid] / (g.Links[lid].Bps / 8); t > phase {
+		// Bandwidth bound over every touched link (slots index storage
+		// directly).
+		for _, li := range a.touched {
+			if t := a.load[li] / (g.Links[li].Bps / 8); t > phase {
 				phase = t
 			}
 		}

@@ -209,7 +209,7 @@ func (p *Packet) submitBatch(g *topo.Graph, steps []Phases) ([]float64, error) {
 			}
 			// Shard views are consumed (converted into buf ranges) before the
 			// next Partition call invalidates them.
-			for _, shard := range p.part.Partition(len(g.Links), fs) {
+			for _, shard := range p.part.PartitionGraph(g, fs) {
 				start := i
 				for _, f := range shard {
 					p.convert(i, f)

@@ -1,5 +1,7 @@
 package netsim
 
+import "mixnet/internal/topo"
+
 // Partitioner splits a phase's flows into connected components over shared
 // links: two flows land in the same shard iff they are joined by a chain of
 // flows whose paths intersect. Components never exchange packets or share
@@ -51,12 +53,23 @@ func (p *Partitioner) union(a, b int32) {
 }
 
 // Partition splits flows into connected components over shared links.
-// nLinks is the link-ID space of the graph the paths were routed on
-// (len(g.Links)). The returned shards and their backing arrays are owned by
-// the partitioner and valid until the next Partition call; callers must not
-// retain them. Flows with empty paths touch no links and become singleton
-// shards.
+// nLinks is the link-ID space of the graph the paths were routed on, with
+// link IDs indexing it directly. The returned shards and their backing
+// arrays are owned by the partitioner and valid until the next Partition
+// call; callers must not retain them. Flows with empty paths touch no links
+// and become singleton shards.
 func (p *Partitioner) Partition(nLinks int, flows []*Flow) [][]*Flow {
+	return p.partition(nLinks, nil, flows)
+}
+
+// PartitionGraph is Partition against a graph: the owner table is sized by
+// the graph's link storage (len(g.Links)) and indexed through
+// g.LinkIndex, so symmetry-folded graphs only pay for materialized links.
+func (p *Partitioner) PartitionGraph(g *topo.Graph, flows []*Flow) [][]*Flow {
+	return p.partition(len(g.Links), g, flows)
+}
+
+func (p *Partitioner) partition(nLinks int, g *topo.Graph, flows []*Flow) [][]*Flow {
 	n := len(flows)
 	if n == 0 {
 		return p.shards[:0]
@@ -87,12 +100,16 @@ func (p *Partitioner) Partition(nLinks int, flows []*Flow) [][]*Flow {
 	// Union flows through the first flow seen on each link.
 	for i, f := range flows {
 		for _, lid := range f.Path {
-			if p.stamp[lid] != epoch {
-				p.stamp[lid] = epoch
-				p.owner[lid] = int32(i)
+			li := int32(lid)
+			if g != nil {
+				li = g.LinkIndex(lid)
+			}
+			if p.stamp[li] != epoch {
+				p.stamp[li] = epoch
+				p.owner[li] = int32(i)
 				continue
 			}
-			p.union(int32(i), p.owner[lid])
+			p.union(int32(i), p.owner[li])
 		}
 	}
 	// Number shards by first appearance and count their sizes.

@@ -103,7 +103,7 @@ type sim struct {
 	g        *topo.Graph
 	cfg      Config
 	es       *eventsim.Simulator
-	busy     []eventsim.Time // per directed link: time the transmitter frees up
+	busy     []eventsim.Time // per link storage slot: transmitter free-up time
 	cc       CongestionControl
 	adaptive bool    // controller reacts to acks: always schedule them
 	marking  bool    // links ECN-mark over-threshold packets
@@ -268,19 +268,20 @@ func (s *sim) sendNext(f *Flow) {
 // of queueing ahead of it (busy[lid] - now).
 func (s *sim) forward(f *Flow, seq int64, hop int, t eventsim.Time, sent eventsim.Time, marked bool) {
 	lid := f.Path[hop]
-	l := s.g.Link(lid)
+	li := s.g.LinkIndex(lid)
+	l := &s.g.Links[li]
 	size := f.pktSize(seq, s.cfg.MTU)
 	txTime := eventsim.FromSeconds(float64(size*8) / l.Bps)
 	depart := t
-	if s.busy[lid] > depart {
-		depart = s.busy[lid]
+	if s.busy[li] > depart {
+		depart = s.busy[li]
 	}
 	if s.marking && !marked && (depart-t).Seconds() > s.ecnDelay {
 		marked = true
 		s.marks++
 	}
 	done := depart + txTime
-	s.busy[lid] = done
+	s.busy[li] = done
 	arrive := done + eventsim.FromSeconds(l.Latency)
 	if hop+1 < len(f.Path) {
 		s.es.ScheduleAt(arrive, func() { s.forward(f, seq, hop+1, s.es.Now(), sent, marked) })

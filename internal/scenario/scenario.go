@@ -59,6 +59,12 @@ type Config struct {
 	// Trace optionally replaces the self-recorded trace in the "trace"
 	// scenario with an external JSON-Lines recording.
 	Trace io.Reader
+	// Fold builds 3-tier electrical fabrics symmetry-folded (one
+	// representative pod/server materialized lazily) and keeps the engine
+	// lazy. Results are byte-identical to the eager build; folding only
+	// changes memory and build time. Ignored by fabrics without identical
+	// pods (rail, topoopt, mixnet).
+	Fold bool
 }
 
 // Result summarises one scenario run on one backend.
@@ -163,6 +169,7 @@ func buildCluster(cfg Config, plan moe.TrainPlan) (*topo.Cluster, error) {
 	}
 	spec := topo.DefaultSpec(plan.GPUs()/8, cfg.LinkGbps*topo.Gbps)
 	spec.RegionServers = parallel.RegionServersPerEPGroup(plan, spec.GPUsPerServer)
+	spec.Fold = cfg.Fold
 	switch kind {
 	case topo.FabricOverSubFatTree:
 		spec.Oversub = 3
@@ -199,7 +206,7 @@ func newEngine(cfg Config, src trainsim.IterationSource) (*trainsim.Engine, erro
 	}
 	opts := trainsim.Options{
 		GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, BatchComm: cfg.Batch, Source: src,
+		Workers: cfg.Workers, BatchComm: cfg.Batch, Fold: cfg.Fold, Source: src,
 	}
 	if cfg.Fabric == "mixnet" {
 		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)

@@ -57,25 +57,11 @@ func buildClos(g *Graph, spec Spec, endpoints []NodeID, rail bool, nicsPerServer
 		}
 	}
 
-	// Create leaves and attach endpoints.
-	leaves := make([]NodeID, nLeaves)
+	// Count per-leaf endpoint attachments up front so every switch node can
+	// reserve its exact final adjacency degree.
 	leafDownUsed := make([]int, nLeaves)
-	for i := range leaves {
-		leaves[i] = g.AddNode(KindTor, fmt.Sprintf("tor%d", i), -1, -1, -1)
-	}
-	for i, ep := range endpoints {
-		tor := leaves[leafIdx[i]]
-		g.AddDuplex(ep, tor, spec.NICBps, spec.LinkLatency)
-		res.torOf[i] = tor
-		leafDownUsed[leafIdx[i]]++
-	}
-	for _, used := range leafDownUsed {
-		res.bom.TorPorts += used
-	}
-	res.bom.ServerTorLinks = n
-
-	if nLeaves == 1 {
-		return res
+	for _, li := range leafIdx {
+		leafDownUsed[li]++
 	}
 
 	leavesPerPod := down
@@ -89,12 +75,37 @@ func buildClos(g *Graph, spec Spec, endpoints []NodeID, rail bool, nicsPerServer
 			upPerLeaf = 1
 		}
 	}
+	leafUp := upPerLeaf
+	if nLeaves == 1 {
+		leafUp = 0
+	}
+
+	// Create leaves and attach endpoints.
+	leaves := make([]NodeID, nLeaves)
+	for i := range leaves {
+		leaves[i] = g.AddNode(KindTor, fmt.Sprintf("tor%d", i), -1, -1, -1)
+		g.ReserveAdj(leaves[i], leafDownUsed[i]+leafUp, leafDownUsed[i]+leafUp)
+	}
+	for i, ep := range endpoints {
+		tor := leaves[leafIdx[i]]
+		g.AddDuplex(ep, tor, spec.NICBps, spec.LinkLatency)
+		res.torOf[i] = tor
+	}
+	for _, used := range leafDownUsed {
+		res.bom.TorPorts += used
+	}
+	res.bom.ServerTorLinks = n
+
+	if nLeaves == 1 {
+		return res
+	}
 
 	if nPods == 1 {
 		// Two-tier leaf-spine: upPerLeaf spines, one link from each leaf.
 		spines := make([]NodeID, upPerLeaf)
 		for i := range spines {
 			spines[i] = g.AddNode(KindAgg, fmt.Sprintf("spine%d", i), -1, -1, -1)
+			g.ReserveAdj(spines[i], nLeaves, nLeaves)
 		}
 		for _, leaf := range leaves {
 			for _, sp := range spines {
@@ -119,8 +130,13 @@ func buildClos(g *Graph, spec Spec, endpoints []NodeID, rail bool, nicsPerServer
 	aggs := make([][]NodeID, nPods)
 	for p := 0; p < nPods; p++ {
 		aggs[p] = make([]NodeID, upPerLeaf)
+		leavesInPod := leavesPerPod
+		if rem := nLeaves - p*leavesPerPod; rem < leavesInPod {
+			leavesInPod = rem
+		}
 		for a := 0; a < upPerLeaf; a++ {
 			aggs[p][a] = g.AddNode(KindAgg, fmt.Sprintf("pod%d/agg%d", p, a), -1, -1, -1)
+			g.ReserveAdj(aggs[p][a], leavesInPod+coreUp, leavesInPod+coreUp)
 		}
 	}
 	for li, leaf := range leaves {
@@ -139,6 +155,7 @@ func buildClos(g *Graph, spec Spec, endpoints []NodeID, rail bool, nicsPerServer
 		cores[a] = make([]NodeID, coreUp)
 		for c := 0; c < coreUp; c++ {
 			cores[a][c] = g.AddNode(KindCore, fmt.Sprintf("core%d_%d", a, c), -1, -1, -1)
+			g.ReserveAdj(cores[a][c], nPods, nPods)
 		}
 	}
 	for p := 0; p < nPods; p++ {
@@ -189,7 +206,13 @@ func BuildRailOptimized(spec Spec) *Cluster {
 
 func buildElectrical(spec Spec, kind FabricKind, rail bool, oversub float64) *Cluster {
 	spec = spec.withDefaults()
+	lay := closLayoutFor(spec, rail, oversub)
+	if spec.Fold && !rail && lay.tiers == 3 {
+		return buildFoldedElectrical(spec, kind, lay)
+	}
 	g := NewGraph()
+	g.Grow(spec.Servers*nodesPerServer(spec)+lay.switchNodes,
+		spec.Servers*linksPerServer(spec)+lay.closLinks)
 	classes := make([]NICClass, spec.NICsPerServer) // all EPS
 	servers := buildServers(g, spec, classes)
 	eps := allNICNodes(servers, nil)

@@ -46,6 +46,15 @@ type Spec struct {
 	// Oversub is the over-subscription ratio for the tapered fat-tree
 	// (1.0 = non-blocking).
 	Oversub float64
+
+	// Fold enables symmetry folding for the three-tier fat-tree builders:
+	// identical pods and servers are constructed lazily, on first touch,
+	// instead of eagerly materializing the whole cluster. Folded and
+	// unfolded clusters produce byte-identical simulation results; failure
+	// injectors and inventory accessors materialize (unfold) what they
+	// touch. Ignored by fabrics without the symmetry (rail-optimized,
+	// TopoOpt, MixNet) and by clusters small enough to be 1–2 tier.
+	Fold bool
 }
 
 // DefaultSpec returns the paper's simulation setup (§7.1): 8 GPUs and
@@ -135,7 +144,7 @@ func (s *Server) OCSNICs() []NIC {
 // NICs, or — on the co-packaged-optics variant where circuits terminate
 // directly on GPUs (§8) — its GPUs wrapped as pseudo-NIC ports.
 func (c *Cluster) OCSPorts(server int) []NIC {
-	s := &c.Servers[server]
+	s := c.Server(server)
 	if ports := s.OCSNICs(); len(ports) > 0 {
 		return ports
 	}
@@ -144,7 +153,7 @@ func (c *Cluster) OCSPorts(server int) []NIC {
 	}
 	out := make([]NIC, 0, len(s.GPUs))
 	for i, g := range s.GPUs {
-		out = append(out, NIC{Node: g, Index: i, NUMA: c.G.Nodes[g].NUMA, Class: NICOcs, Tor: NoNode})
+		out = append(out, NIC{Node: g, Index: i, NUMA: c.G.Node(g).NUMA, Class: NICOcs, Tor: NoNode})
 	}
 	return out
 }
@@ -238,6 +247,10 @@ type Cluster struct {
 
 	// ocs holds mutable circuit state per region (MixNet / TopoOpt).
 	ocs []*regionCircuits
+
+	// fold tracks lazy materialization state for symmetry-folded clusters
+	// (fold.go); nil for eagerly built clusters.
+	fold *foldState
 }
 
 // regionCircuits tracks currently installed circuits for one OCS region.
@@ -254,13 +267,58 @@ type CircuitPair struct {
 // GPUCount returns the number of GPUs in the cluster.
 func (c *Cluster) GPUCount() int { return len(c.Servers) * c.Spec.GPUsPerServer }
 
+// NumServers returns the logical server count (materialized or not).
+func (c *Cluster) NumServers() int { return len(c.Servers) }
+
+// Server returns server i's inventory, materializing it first on folded
+// clusters. This is the unfold-on-demand escape hatch: failure injectors
+// and placement code that read a server's nodes force it (and its leaves
+// and pod) into existence here.
+func (c *Cluster) Server(i int) *Server {
+	if c.fold != nil && !c.fold.srvDone[i] {
+		c.ensureServer(i)
+	}
+	return &c.Servers[i]
+}
+
+// EnsureServer materializes server i on a folded cluster (no-op otherwise).
+func (c *Cluster) EnsureServer(i int) { c.Server(i) }
+
+// MaterializeAll unfolds the entire cluster.
+func (c *Cluster) MaterializeAll() {
+	for i := range c.Servers {
+		c.Server(i)
+	}
+}
+
+// Folded reports whether the cluster was built with symmetry folding.
+func (c *Cluster) Folded() bool { return c.fold != nil }
+
+// MaterializedServers returns how many servers physically exist in memory.
+func (c *Cluster) MaterializedServers() int {
+	if c.fold == nil {
+		return len(c.Servers)
+	}
+	return c.fold.matServers
+}
+
+// FoldFactor returns logical servers per materialized server (1 when not
+// folded or fully unfolded).
+func (c *Cluster) FoldFactor() float64 {
+	mat := c.MaterializedServers()
+	if mat == 0 {
+		mat = 1
+	}
+	return float64(len(c.Servers)) / float64(mat)
+}
+
 // GPU returns the node ID of GPU g on server s.
-func (c *Cluster) GPU(s, g int) NodeID { return c.Servers[s].GPUs[g] }
+func (c *Cluster) GPU(s, g int) NodeID { return c.Server(s).GPUs[g] }
 
 // GlobalGPU returns the node ID of the i-th GPU cluster-wide (server-major).
 func (c *Cluster) GlobalGPU(i int) NodeID {
 	per := c.Spec.GPUsPerServer
-	return c.Servers[i/per].GPUs[i%per]
+	return c.Server(i / per).GPUs[i%per]
 }
 
 // ServerOfGPU maps a cluster-wide GPU rank to its server index.
@@ -272,23 +330,41 @@ func (c *Cluster) RegionOf(server int) int { return c.Servers[server].Region }
 // buildServers creates per-server internals (GPUs, NVSwitch, NUMA hubs,
 // NICs) and returns the servers. classes assigns NICClass per NIC index.
 func buildServers(g *Graph, spec Spec, classes []NICClass) []Server {
+	if len(g.Nodes) == 0 {
+		// Servers occupy the leading node/link ID blocks; record the layout
+		// so BFSRouter can replay a representative server's internal routes
+		// for its identical copies.
+		g.blockNodes = int32(nodesPerServer(spec))
+		g.blockLinks = int32(linksPerServer(spec))
+		g.blockCount = int32(spec.Servers)
+		g.blockRep = 0
+	}
+	hubDeg := make([]int, spec.NUMAHubs)
+	for i := 0; i < spec.NICsPerServer; i++ {
+		hubDeg[i%spec.NUMAHubs]++
+	}
+	internalDeg := spec.NUMAHubs + spec.GPUsPerServer
 	servers := make([]Server, spec.Servers)
 	for s := 0; s < spec.Servers; s++ {
 		srv := Server{Index: s, Region: -1}
 		srv.NVSwitch = g.AddNode(KindNVSwitch, fmt.Sprintf("srv%d/nvsw", s), s, -1, -1)
+		g.ReserveAdj(srv.NVSwitch, internalDeg, internalDeg)
 		for h := 0; h < spec.NUMAHubs; h++ {
 			hub := g.AddNode(KindNUMAHub, fmt.Sprintf("srv%d/numa%d", s, h), s, h, -1)
+			g.ReserveAdj(hub, 1+hubDeg[h], 1+hubDeg[h])
 			srv.Hubs = append(srv.Hubs, hub)
 			g.AddDuplex(hub, srv.NVSwitch, spec.HubFactor*spec.NICBps, 0)
 		}
 		for i := 0; i < spec.GPUsPerServer; i++ {
 			gpu := g.AddNode(KindGPU, fmt.Sprintf("srv%d/gpu%d", s, i), s, i%spec.NUMAHubs, -1)
+			g.ReserveAdj(gpu, 1, 1)
 			srv.GPUs = append(srv.GPUs, gpu)
 			g.AddDuplex(gpu, srv.NVSwitch, spec.NVSwitchBps, 0)
 		}
 		for i := 0; i < spec.NICsPerServer; i++ {
 			numa := i % spec.NUMAHubs
 			nic := g.AddNode(KindNIC, fmt.Sprintf("srv%d/nic%d", s, i), s, numa, -1)
+			g.ReserveAdj(nic, 2, 2)
 			g.AddDuplex(nic, srv.Hubs[numa], spec.NICBps, 0)
 			class := NICEps
 			if i < len(classes) {

@@ -1,0 +1,304 @@
+package topo
+
+import "fmt"
+
+// Symmetry folding for the three-tier fat-tree builders.
+//
+// A non-failed fat-tree is massively symmetric: every server is an exact
+// copy of server 0 and every pod is wired identically. At 256k GPUs the
+// eager builders would materialize ~600k nodes and ~1.3M directed links
+// just so the analytic backends can route between 64 participants. The
+// folded builder instead assigns the *entire* logical node/link ID space
+// arithmetically — byte-compatible with the eager builders' IDs, names and
+// wiring — but materializes only the core plane eagerly. Pods, leaves and
+// servers come into existence on first touch:
+//
+//	ensurePod    aggs + agg-core links
+//	ensureLeaf   leaf + leaf-agg links       (needs its pod)
+//	ensureServer server internals + ep-tor   (needs its leaves)
+//
+// Because materialization only ever adds nodes whose shortest paths to
+// already-materialized nodes run through the eager core plane, existing
+// routes and ECMP candidate sets never change — see Graph.growth. The
+// escape hatch for failure injectors is Cluster.Server/EnsureServer:
+// touching a server's inventory materializes it before any link can be
+// mutated.
+
+// closLayout carries the counted shape of the electrical fabric: everything
+// needed to pre-size an eager build or to address a folded one.
+type closLayout struct {
+	n, down      int // endpoints, endpoints per leaf
+	nLeaves      int
+	leavesPerPod int
+	nPods        int
+	upPerLeaf    int // aggs per pod / spines (2-tier)
+	coreUp       int // cores per core group
+	tiers        int // 0 (empty), 1, 2, or 3
+	switchNodes  int // total switch nodes in the clos stage
+	closLinks    int // total directed links in the clos stage (incl ep-tor)
+}
+
+// nodesPerServer returns the node-block size of one server.
+func nodesPerServer(spec Spec) int {
+	return 1 + spec.NUMAHubs + spec.GPUsPerServer + spec.NICsPerServer
+}
+
+// linksPerServer returns the directed-link-block size of one server.
+func linksPerServer(spec Spec) int {
+	return 2 * (spec.NUMAHubs + spec.GPUsPerServer + spec.NICsPerServer)
+}
+
+// closLayoutFor mirrors buildClos's sizing arithmetic without building
+// anything. spec must already have defaults applied.
+func closLayoutFor(spec Spec, rail bool, oversub float64) closLayout {
+	n := spec.Servers * spec.NICsPerServer
+	lay := closLayout{n: n}
+	if n == 0 {
+		return lay
+	}
+	if oversub < 1 {
+		oversub = 1
+	}
+	down := spec.SwitchRadix / 2
+	if down < 1 {
+		down = 1
+	}
+	lay.down = down
+	if rail && spec.NICsPerServer > 1 {
+		lay.nLeaves = ((spec.Servers-1)/down)*spec.NICsPerServer + spec.NICsPerServer
+	} else {
+		lay.nLeaves = (n + down - 1) / down
+	}
+	lay.leavesPerPod = down
+	lay.nPods = (lay.nLeaves + down - 1) / down
+	lay.upPerLeaf = down
+	lay.coreUp = down
+	if oversub > 1 {
+		up := int(float64(down)/oversub + 0.5)
+		if up < 1 {
+			up = 1
+		}
+		lay.upPerLeaf, lay.coreUp = up, up
+	}
+	switch {
+	case lay.nLeaves == 1:
+		lay.tiers = 1
+		lay.switchNodes = 1
+		lay.closLinks = 2 * n
+	case lay.nPods == 1:
+		lay.tiers = 2
+		lay.switchNodes = lay.nLeaves + lay.upPerLeaf
+		lay.closLinks = 2*n + 2*lay.nLeaves*lay.upPerLeaf
+	default:
+		lay.tiers = 3
+		lay.switchNodes = lay.nLeaves + lay.nPods*lay.upPerLeaf + lay.upPerLeaf*lay.coreUp
+		lay.closLinks = 2*n + 2*lay.nLeaves*lay.upPerLeaf + 2*lay.nPods*lay.upPerLeaf*lay.coreUp
+	}
+	return lay
+}
+
+// leavesInPod returns how many leaves pod p actually has (the last pod may
+// be partial).
+func (l *closLayout) leavesInPod(p int) int {
+	in := l.leavesPerPod
+	if rem := l.nLeaves - p*l.leavesPerPod; rem < in {
+		in = rem
+	}
+	return in
+}
+
+// downUsed returns how many endpoints attach to leaf li.
+func (l *closLayout) downUsed(li int) int {
+	used := l.down
+	if rem := l.n - li*l.down; rem < used {
+		used = rem
+	}
+	return used
+}
+
+// foldState tracks which parts of a folded cluster exist.
+type foldState struct {
+	lay closLayout
+
+	leafBase NodeID // first leaf node ID (== servers * nodesPerServer)
+	aggBase  NodeID
+	coreBase NodeID
+
+	epTorBase   LinkID // first ep-tor link ID (== servers * linksPerServer)
+	leafAggBase LinkID
+	aggCoreBase LinkID
+
+	srvDone    []bool
+	leafDone   []bool
+	podDone    []bool
+	matServers int
+}
+
+// buildFoldedElectrical is the folded counterpart of buildElectrical for
+// 3-tier non-rail fat-trees. Node and link IDs, names, wiring, BOM and
+// Server inventory match the eager builder exactly; only materialization is
+// deferred.
+func buildFoldedElectrical(spec Spec, kind FabricKind, lay closLayout) *Cluster {
+	npS, lpS := nodesPerServer(spec), linksPerServer(spec)
+	f := &foldState{
+		lay:      lay,
+		leafBase: NodeID(spec.Servers * npS),
+		srvDone:  make([]bool, spec.Servers),
+		leafDone: make([]bool, lay.nLeaves),
+		podDone:  make([]bool, lay.nPods),
+	}
+	f.aggBase = f.leafBase + NodeID(lay.nLeaves)
+	f.coreBase = f.aggBase + NodeID(lay.nPods*lay.upPerLeaf)
+	f.epTorBase = LinkID(spec.Servers * lpS)
+	f.leafAggBase = f.epTorBase + LinkID(2*lay.n)
+	f.aggCoreBase = f.leafAggBase + LinkID(2*lay.nLeaves*lay.upPerLeaf)
+
+	g := NewGraph()
+	nNodes := int(f.coreBase) + lay.upPerLeaf*lay.coreUp
+	nLinks := int(f.aggCoreBase) + 2*lay.nPods*lay.upPerLeaf*lay.coreUp
+	g.beginFolded(nNodes, nLinks)
+	g.blockNodes = int32(npS)
+	g.blockLinks = int32(lpS)
+	g.blockCount = int32(spec.Servers)
+	g.blockRep = -1 // set at first ensureServer
+
+	// The core plane is shared by every pod: build it eagerly so all
+	// inter-pod shortest paths exist from the start (the monotone-growth
+	// invariant depends on this).
+	for a := 0; a < lay.upPerLeaf; a++ {
+		for cc := 0; cc < lay.coreUp; cc++ {
+			id := f.coreBase + NodeID(a*lay.coreUp+cc)
+			g.putNode(id, KindCore, fmt.Sprintf("core%d_%d", a, cc), -1, -1, -1, lay.nPods, lay.nPods)
+		}
+	}
+	g.growth++
+	g.epoch++
+
+	// The BOM is arithmetic — identical to what the eager build counts.
+	bom := BOM{
+		NICs:           lay.n,
+		ServerTorLinks: lay.n,
+		TorPorts:       lay.n + lay.nLeaves*lay.upPerLeaf,
+		AggPorts:       lay.nLeaves*lay.upPerLeaf + lay.nPods*lay.upPerLeaf*lay.coreUp,
+		CorePorts:      lay.nPods * lay.upPerLeaf * lay.coreUp,
+		FabricLinks:    lay.nLeaves*lay.upPerLeaf + lay.nPods*lay.upPerLeaf*lay.coreUp,
+	}
+
+	srvs := make([]Server, spec.Servers) // filled per server on unfold
+	for s := range srvs {
+		srvs[s].Index, srvs[s].Region = s, -1
+	}
+	return &Cluster{
+		G:       g,
+		Spec:    spec,
+		Kind:    kind,
+		Servers: srvs,
+		BOM:     bom,
+		fold:    f,
+	}
+}
+
+// ensurePod materializes pod p: its aggs and their core uplinks.
+func (c *Cluster) ensurePod(p int) {
+	f := c.fold
+	if f.podDone[p] {
+		return
+	}
+	g, lay, spec := c.G, &f.lay, &c.Spec
+	deg := lay.leavesInPod(p) + lay.coreUp
+	for a := 0; a < lay.upPerLeaf; a++ {
+		id := f.aggBase + NodeID(p*lay.upPerLeaf+a)
+		g.putNode(id, KindAgg, fmt.Sprintf("pod%d/agg%d", p, a), -1, -1, -1, deg, deg)
+	}
+	for a := 0; a < lay.upPerLeaf; a++ {
+		agg := f.aggBase + NodeID(p*lay.upPerLeaf+a)
+		for cc := 0; cc < lay.coreUp; cc++ {
+			core := f.coreBase + NodeID(a*lay.coreUp+cc)
+			lid := f.aggCoreBase + LinkID(2*((p*lay.upPerLeaf+a)*lay.coreUp+cc))
+			g.putDuplex(lid, agg, core, spec.NICBps, spec.LinkLatency)
+		}
+	}
+	f.podDone[p] = true
+	g.growth++
+}
+
+// ensureLeaf materializes leaf li and its agg uplinks.
+func (c *Cluster) ensureLeaf(li int) {
+	f := c.fold
+	if f.leafDone[li] {
+		return
+	}
+	p := li / f.lay.leavesPerPod
+	c.ensurePod(p)
+	g, lay, spec := c.G, &f.lay, &c.Spec
+	leaf := f.leafBase + NodeID(li)
+	deg := lay.downUsed(li) + lay.upPerLeaf
+	g.putNode(leaf, KindTor, fmt.Sprintf("tor%d", li), -1, -1, -1, deg, deg)
+	for a := 0; a < lay.upPerLeaf; a++ {
+		agg := f.aggBase + NodeID(p*lay.upPerLeaf+a)
+		lid := f.leafAggBase + LinkID(2*(li*lay.upPerLeaf+a))
+		g.putDuplex(lid, leaf, agg, spec.NICBps, spec.LinkLatency)
+	}
+	f.leafDone[li] = true
+	g.growth++
+}
+
+// ensureServer materializes server s: its leaves, internal nodes and links
+// (mirroring buildServers exactly), ep-tor attachments, and its Server
+// inventory entry.
+func (c *Cluster) ensureServer(s int) {
+	f := c.fold
+	if f.srvDone[s] {
+		return
+	}
+	g, lay := c.G, &f.lay
+	spec := &c.Spec
+	N := spec.NICsPerServer
+	for li := s * N / lay.down; li <= ((s+1)*N-1)/lay.down; li++ {
+		c.ensureLeaf(li)
+	}
+
+	npS := int(g.blockNodes)
+	lpS := int(g.blockLinks)
+	base := NodeID(s * npS)
+	lbase := LinkID(s * lpS)
+	H, G, hubBps := spec.NUMAHubs, spec.GPUsPerServer, spec.HubFactor*spec.NICBps
+	hubDeg := make([]int, H)
+	for i := 0; i < N; i++ {
+		hubDeg[i%H]++
+	}
+
+	srv := Server{Index: s, Region: -1}
+	nvsw := base
+	g.putNode(nvsw, KindNVSwitch, fmt.Sprintf("srv%d/nvsw", s), s, -1, -1, H+G, H+G)
+	srv.NVSwitch = nvsw
+	for h := 0; h < H; h++ {
+		hub := base + NodeID(1+h)
+		g.putNode(hub, KindNUMAHub, fmt.Sprintf("srv%d/numa%d", s, h), s, h, -1, 1+hubDeg[h], 1+hubDeg[h])
+		srv.Hubs = append(srv.Hubs, hub)
+		g.putDuplex(lbase+LinkID(2*h), hub, nvsw, hubBps, 0)
+	}
+	for i := 0; i < G; i++ {
+		gpu := base + NodeID(1+H+i)
+		g.putNode(gpu, KindGPU, fmt.Sprintf("srv%d/gpu%d", s, i), s, i%H, -1, 1, 1)
+		srv.GPUs = append(srv.GPUs, gpu)
+		g.putDuplex(lbase+LinkID(2*(H+i)), gpu, nvsw, spec.NVSwitchBps, 0)
+	}
+	for i := 0; i < N; i++ {
+		numa := i % H
+		nic := base + NodeID(1+H+G+i)
+		g.putNode(nic, KindNIC, fmt.Sprintf("srv%d/nic%d", s, i), s, numa, -1, 2, 2)
+		g.putDuplex(lbase+LinkID(2*(H+G+i)), nic, srv.Hubs[numa], spec.NICBps, 0)
+		k := s*N + i // global endpoint index
+		tor := f.leafBase + NodeID(k/lay.down)
+		g.putDuplex(f.epTorBase+LinkID(2*k), nic, tor, spec.NICBps, spec.LinkLatency)
+		srv.NICs = append(srv.NICs, NIC{Node: nic, Index: i, NUMA: numa, Class: NICEps, Tor: tor})
+	}
+	c.Servers[s] = srv
+	f.srvDone[s] = true
+	f.matServers++
+	if g.blockRep < 0 {
+		g.blockRep = int32(s)
+	}
+	g.growth++
+}

@@ -27,14 +27,31 @@ type Router interface {
 // Path selection walks from src towards dst, at each hop choosing among the
 // neighbours that strictly decrease the distance to dst, hashed by
 // (flowKey, hop, node) — per-hop ECMP as practised in Clos fabrics.
+//
+// On symmetry-folded graphs the router operates on the quotient: distance
+// fields are sized and indexed by storage slot (materialized nodes only),
+// refresh lazily when a lookup misses after the graph has grown, and
+// intra-server routes are computed once on a representative server and
+// replayed — by pure link-ID offset translation — for every identical copy.
 type BFSRouter struct {
 	G *Graph
 
 	epoch  uint64
-	dist   map[NodeID][]int32 // dst -> distance of every node to dst (hops), -1 unreachable
-	routes map[routeKey]Route // resolved paths, keyed by (src, dst, flowKey)
-	queue  []NodeID           // scratch
-	cands  []LinkID           // per-hop ECMP candidate scratch
+	dist   map[NodeID]*distEntry // dst -> distances of materialized nodes to dst
+	routes map[routeKey]Route    // resolved paths, keyed by (src, dst, flowKey)
+	queue  []NodeID              // scratch
+	cands  []LinkID              // per-hop ECMP candidate scratch
+}
+
+// distEntry is one cached distance field: d is indexed by node storage slot
+// (-1 unreachable / out of range) and was computed at the recorded growth.
+// Materialization never changes distances between already-materialized
+// nodes (see Graph.growth), so a stale entry is still correct for every
+// slot it covers; it only needs recomputing when a route endpoint lies
+// beyond it.
+type distEntry struct {
+	d      []int32
+	growth uint64
 }
 
 // routeKey identifies a cached route. flowKey is part of the key because it
@@ -47,7 +64,7 @@ type routeKey struct {
 
 // NewBFSRouter creates a router over g.
 func NewBFSRouter(g *Graph) *BFSRouter {
-	return &BFSRouter{G: g, dist: make(map[NodeID][]int32), routes: make(map[routeKey]Route)}
+	return &BFSRouter{G: g, dist: make(map[NodeID]*distEntry), routes: make(map[routeKey]Route)}
 }
 
 // Invalidate drops all cached distance fields and routes. Callers normally
@@ -55,7 +72,7 @@ func NewBFSRouter(g *Graph) *BFSRouter {
 // epoch counter.
 func (r *BFSRouter) Invalidate() {
 	if r.dist == nil {
-		r.dist = make(map[NodeID][]int32)
+		r.dist = make(map[NodeID]*distEntry)
 	}
 	if r.routes == nil {
 		r.routes = make(map[routeKey]Route)
@@ -64,49 +81,93 @@ func (r *BFSRouter) Invalidate() {
 	clear(r.routes)
 }
 
-func (r *BFSRouter) distField(dst NodeID) []int32 {
+// sync invalidates the caches when the graph was mutated.
+func (r *BFSRouter) sync() {
 	if r.epoch != r.G.Epoch() {
 		r.Invalidate()
 		r.epoch = r.G.Epoch()
 	}
-	if d, ok := r.dist[dst]; ok {
-		return d
+}
+
+func (r *BFSRouter) distField(dst NodeID) *distEntry {
+	r.sync()
+	if e, ok := r.dist[dst]; ok {
+		return e
 	}
+	return r.computeDist(dst)
+}
+
+// computeDist (re)computes dst's distance field against the current graph.
+func (r *BFSRouter) computeDist(dst NodeID) *distEntry {
 	g := r.G
-	d := make([]int32, len(g.Nodes))
+	e := r.dist[dst]
+	if e == nil {
+		e = &distEntry{}
+		r.dist[dst] = e
+	}
+	e.growth = g.Growth()
+	d := e.d[:0]
+	for len(d) < len(g.Nodes) {
+		d = append(d, -1)
+	}
 	for i := range d {
 		d[i] = -1
 	}
-	d[dst] = 0
+	e.d = d
+	di := g.NodeIndex(dst)
+	if di < 0 {
+		return e
+	}
+	d[di] = 0
 	q := r.queue[:0]
 	q = append(q, dst)
 	for len(q) > 0 {
 		n := q[0]
 		q = q[1:]
+		ni := g.NodeIndex(n)
 		// Walk incoming links: we want distance *towards* dst.
-		for _, lid := range g.in[n] {
-			l := &g.Links[lid]
+		for _, lid := range g.in[ni] {
+			l := &g.Links[g.LinkIndex(lid)]
 			if !l.Up {
 				continue
 			}
-			if d[l.From] == -1 {
-				d[l.From] = d[n] + 1
+			fi := g.NodeIndex(l.From)
+			if d[fi] == -1 {
+				d[fi] = d[ni] + 1
 				q = append(q, l.From)
 			}
 		}
 	}
 	r.queue = q[:0]
-	r.dist[dst] = d
-	return d
+	return e
 }
 
-// DistanceField returns every node's hop distance to dst over up links
-// (-1 = unreachable). The slice is cached per destination, self-invalidates
-// when the graph epoch changes, and is shared with the router: treat it as
-// read-only. It exposes the ECMP structure Route samples from, so callers
-// (e.g. the analytic netsim backend) can enumerate a hop's equal-cost
-// candidates instead of committing to one sampled path.
-func (r *BFSRouter) DistanceField(dst NodeID) []int32 { return r.distField(dst) }
+// at returns n's distance to the entry's destination, -1 when unreachable
+// or not covered by the field.
+func (e *distEntry) at(g *Graph, n NodeID) int32 {
+	i := g.NodeIndex(n)
+	if i < 0 || int(i) >= len(e.d) {
+		return -1
+	}
+	return e.d[i]
+}
+
+// DistanceField returns every materialized node's hop distance to dst over
+// up links (-1 = unreachable), indexed by node storage slot (== NodeID on
+// eager graphs; use Graph.NodeIndex on folded ones). The slice is cached
+// per destination, self-invalidates when the graph epoch changes, and is
+// recomputed eagerly when the folded graph has grown, so it always covers
+// every materialized node. Treat it as read-only. It exposes the ECMP
+// structure Route samples from, so callers (e.g. the analytic netsim
+// backend) can enumerate a hop's equal-cost candidates instead of
+// committing to one sampled path.
+func (r *BFSRouter) DistanceField(dst NodeID) []int32 {
+	e := r.distField(dst)
+	if e.growth != r.G.Growth() {
+		e = r.computeDist(dst)
+	}
+	return e.d
+}
 
 // hash64 mixes inputs with a splitmix64-style finaliser.
 func hash64(x uint64) uint64 {
@@ -125,25 +186,49 @@ func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 	if src == dst {
 		return nil, nil
 	}
-	g := r.G
-	d := r.distField(dst) // also syncs caches with the graph epoch
-	if d[src] < 0 {
-		return nil, ErrNoRoute
-	}
+	r.sync()
 	key := routeKey{src, dst, flowKey}
 	if rt, ok := r.routes[key]; ok {
 		return rt, nil
 	}
-	route := make(Route, 0, d[src])
+	if rt, ok := r.replayIntraServer(src, dst, flowKey); ok {
+		r.routes[key] = rt
+		return rt, nil
+	}
+	g := r.G
+	e, ok := r.dist[dst]
+	if !ok {
+		e = r.computeDist(dst)
+	}
+	if e.at(g, src) < 0 {
+		// Either unreachable or the field predates src's materialization.
+		if e.growth == g.Growth() {
+			return nil, ErrNoRoute
+		}
+		e = r.computeDist(dst)
+		if e.at(g, src) < 0 {
+			return nil, ErrNoRoute
+		}
+	}
+	// From here every node on a shortest src->dst path is covered by e:
+	// such nodes lie in src's pod, dst's pod/server, or the eagerly built
+	// core plane, all materialized no later than src and dst themselves.
+	d := e.d
+	route := make(Route, 0, e.at(g, src))
 	cur := src
+	ci := g.NodeIndex(cur)
 	hop := 0
 	for cur != dst {
-		want := d[cur] - 1
+		want := d[ci] - 1
 		// Gather candidate links that strictly approach dst.
 		cands := r.cands[:0]
-		for _, lid := range g.out[cur] {
-			l := &g.Links[lid]
-			if l.Up && d[l.To] == want {
+		for _, lid := range g.out[ci] {
+			l := &g.Links[g.LinkIndex(lid)]
+			if !l.Up {
+				continue
+			}
+			ti := g.NodeIndex(l.To)
+			if int(ti) < len(d) && d[ti] == want {
 				cands = append(cands, lid)
 			}
 		}
@@ -159,7 +244,8 @@ func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 			pick = cands[h%uint64(len(cands))]
 		}
 		route = append(route, pick)
-		cur = g.Links[pick].To
+		cur = g.Link(pick).To
+		ci = g.NodeIndex(cur)
 		hop++
 		if hop > len(g.Nodes) {
 			return nil, errors.New("topo: routing loop")
@@ -169,11 +255,58 @@ func (r *BFSRouter) Route(src, dst NodeID, flowKey uint64) (Route, error) {
 	return route, nil
 }
 
+// replayIntraServer answers routes between two nodes of the same server by
+// translating the representative server's route by a link-ID offset.
+// Internal server paths are structurally unique (every NIC hangs off one
+// hub, every GPU off the one NVSwitch), so the replay is exact — no ECMP
+// hash ever fires on them. Disabled for servers whose links were mutated
+// (failures, circuits) and when no block layout is recorded.
+func (r *BFSRouter) replayIntraServer(src, dst NodeID, flowKey uint64) (Route, bool) {
+	g := r.G
+	bn := g.blockNodes
+	if bn == 0 || g.blockRep < 0 {
+		return nil, false
+	}
+	limit := NodeID(bn * g.blockCount)
+	if src >= limit || dst >= limit {
+		return nil, false
+	}
+	s := int32(src) / bn
+	if int32(dst)/bn != s {
+		return nil, false
+	}
+	rep := g.blockRep
+	if s == rep || g.srvDirty(s) || g.srvDirty(rep) {
+		return nil, false
+	}
+	if g.NodeIndex(src) < 0 || g.NodeIndex(dst) < 0 {
+		return nil, false // unmaterialized endpoints: no links to translate to
+	}
+	off := NodeID((rep - s) * bn)
+	canon, err := r.Route(src+off, dst+off, flowKey)
+	if err != nil {
+		return nil, false
+	}
+	bl := g.blockLinks
+	lo, hi := LinkID(rep*bl), LinkID((rep+1)*bl)
+	out := make(Route, len(canon))
+	delta := LinkID((s - rep) * bl)
+	for i, lid := range canon {
+		if lid < lo || lid >= hi {
+			// The canonical route left the server block (shouldn't happen
+			// for intra-server pairs); fall back to a direct computation.
+			return nil, false
+		}
+		out[i] = lid + delta
+	}
+	return out, true
+}
+
 // PathLatency sums propagation latency along a route.
 func PathLatency(g *Graph, rt Route) float64 {
 	var s float64
 	for _, id := range rt {
-		s += g.Links[id].Latency
+		s += g.Link(id).Latency
 	}
 	return s
 }
@@ -184,9 +317,9 @@ func PathMinBandwidth(g *Graph, rt Route) float64 {
 	if len(rt) == 0 {
 		return 0
 	}
-	m := g.Links[rt[0]].Bps
+	m := g.Link(rt[0]).Bps
 	for _, id := range rt[1:] {
-		if b := g.Links[id].Bps; b < m {
+		if b := g.Link(id).Bps; b < m {
 			m = b
 		}
 	}

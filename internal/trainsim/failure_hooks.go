@@ -109,8 +109,8 @@ func (e *Engine) FailServer(server int, backup int) ([]topo.NodeID, error) {
 	if server == backup {
 		return nil, fmt.Errorf("trainsim: backup equals failed server")
 	}
-	src := e.Cluster.Servers[server]
-	dst := e.Cluster.Servers[backup]
+	src := *e.Cluster.Server(server)
+	dst := *e.Cluster.Server(backup)
 	if len(dst.GPUs) < len(src.GPUs) {
 		return nil, fmt.Errorf("trainsim: backup server %d has %d GPUs, failed server %d has %d",
 			backup, len(dst.GPUs), server, len(src.GPUs))

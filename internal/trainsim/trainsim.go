@@ -97,6 +97,12 @@ type Options struct {
 	Source IterationSource
 	// DisableDP skips the DP all-reduce simulation.
 	DisableDP bool
+	// Fold keeps a symmetry-folded cluster (topo.Spec.Fold) lazy: switches,
+	// links and servers materialize only when a collective routes through
+	// them. Off (the default), New materializes a folded cluster fully up
+	// front, so engines behave identically to the eager build. Results are
+	// byte-identical either way; folding only changes memory and build time.
+	Fold bool
 }
 
 // IterationSource supplies gate outcomes; the default is the synthetic
@@ -201,6 +207,9 @@ func (s IterStats) A2AFraction() float64 {
 func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (*Engine, error) {
 	if err := moe.Validate(m, plan); err != nil {
 		return nil, err
+	}
+	if !opts.Fold && cluster.Folded() {
+		cluster.MaterializeAll()
 	}
 	place, err := parallel.NewPlacement(cluster, plan)
 	if err != nil {
@@ -534,6 +543,8 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	if err := e.cplan.Execute(e.Cluster.G, e.ctx.Backend(), e.Opts.BatchComm); err != nil {
 		return stats, err
 	}
+	ms := e.ctx.MemoStats()
+	e.cplan.SetCompileStats(ms.Hits, ms.Misses, ms.Bypasses, e.Cluster.FoldFactor())
 
 	// Pass 3: accounting — the historical inline float sequence, fed by the
 	// plan's per-step makespans.

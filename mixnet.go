@@ -87,6 +87,12 @@ type SimConfig struct {
 	Iterations int
 	// Seed drives the synthetic gate; equal seeds reproduce runs exactly.
 	Seed int64
+	// Fold builds 3-tier electrical fabrics (FatTree, OverSubFatTree)
+	// symmetry-folded: identical pods and servers share one lazily
+	// materialized representative, cutting build time and memory at large
+	// scale. Results are byte-identical with and without Fold; fabrics
+	// without identical pods ignore it.
+	Fold bool
 }
 
 // Result summarises a simulation.
@@ -138,7 +144,8 @@ func Simulate(cfg SimConfig) (Result, error) {
 	}
 	engine, err := scenario.NewEngine(scenario.Config{
 		Model: cfg.Model, Fabric: fabricName, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, Batch: cfg.Batch, LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
+		Workers: cfg.Workers, Batch: cfg.Batch, Fold: cfg.Fold,
+		LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
 		FirstA2A: cfg.FirstA2A, ReconfigDelaySec: cfg.ReconfigDelaySec,
 	})
 	if err != nil {
