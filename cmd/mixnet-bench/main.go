@@ -10,6 +10,7 @@
 //	mixnet-bench -workers 8      # packet-backend shard parallelism
 //	mixnet-bench -batch          # batched communication plans (byte-identical)
 //	mixnet-bench -fold           # symmetry-folded topology builds (byte-identical)
+//	mixnet-bench -overlap iter   # compute/comm overlap + cross-iteration pipelining
 //	mixnet-bench -json           # also write BENCH_<scale>.json
 //	mixnet-bench -sweep          # every backend, one combined fidelity report
 //	mixnet-bench -scale large    # analytic backends at 8k-256k GPUs -> BENCH_large_ecmp.json
@@ -41,8 +42,13 @@ type benchReport struct {
 	SimWorkers   int               `json:"sim_workers,omitempty"`
 	Batch        bool              `json:"batch,omitempty"`
 	Fold         bool              `json:"fold,omitempty"`
+	Overlap      string            `json:"overlap,omitempty"`
 	TotalSeconds float64           `json:"total_seconds"`
 	Experiments  []benchExperiment `json:"experiments"`
+	// MultiCore records the packet backend's wall-clock sharding speedup
+	// (or a single_core marker when only one core is available); present
+	// on packet-backend runs only.
+	MultiCore *experiments.MultiCoreReport `json:"multi_core,omitempty"`
 }
 
 type benchExperiment struct {
@@ -85,6 +91,7 @@ func main() {
 		simWorkers = flag.Int("workers", 0, "packet-backend parallel shard event loops per engine (0/1 = serial, -1 = GOMAXPROCS)")
 		batch      = flag.Bool("batch", false, "batch each iteration's communication plan across independent steps (byte-identical results)")
 		foldFlag   = flag.Bool("fold", false, "build 3-tier electrical fabrics symmetry-folded (lazy pods/servers, byte-identical results)")
+		overlap    = flag.String("overlap", "", "compute/communication overlap discipline: none (default) | layer | iter")
 		scaleFlag  = flag.String("scale", "", "large: quantify the analytic backends at 8k-256k GPU scale and write BENCH_large_ecmp.json")
 		sweep      = flag.Bool("sweep", false, "run the selected experiments on every backend and emit one combined fidelity report")
 		jsonOut    = flag.Bool("json", false, "write machine-readable BENCH_<scale>.json")
@@ -105,6 +112,10 @@ func main() {
 	experiments.SetDefaultSimWorkers(*simWorkers)
 	experiments.SetDefaultBatch(*batch)
 	experiments.SetDefaultFold(*foldFlag)
+	if err := experiments.SetDefaultOverlap(*overlap); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *scaleFlag != "" {
 		if *scaleFlag != "large" {
@@ -151,6 +162,12 @@ func main() {
 		Scale: scaleName, Backend: experiments.DefaultBackend(),
 		Workers: workers, SimWorkers: experiments.DefaultSimWorkers(),
 		Batch: experiments.DefaultBatch(), Fold: experiments.DefaultFold(),
+	}
+	if experiments.DefaultOverlap() != "none" {
+		report.Overlap = experiments.DefaultOverlap()
+	}
+	if report.Backend == "packet" {
+		report.MultiCore = experiments.MultiCoreWallClock()
 	}
 	if *cc != "" {
 		report.CC = experiments.DefaultCC()

@@ -7,6 +7,7 @@
 //	mixnet-sim -model "Mixtral 8x7B" -fabric mixnet -gbps 100 -iters 3 -mode copilot
 //	mixnet-sim -backend packet -workers 8            # sharded packet fidelity
 //	mixnet-sim -backend packet -workers 8 -batch     # + cross-step batched comm plans
+//	mixnet-sim -overlap iter -batch                  # overlap compute/comm, pipeline across iterations
 //	mixnet-sim -scenario trace -backend packet       # trace replay at packet fidelity
 //	mixnet-sim -fabric fat-tree -fold                # symmetry-folded topology build
 //	mixnet-sim -scenario fail-nic+fail-gpu           # composed multi-failure drill
@@ -32,6 +33,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "packet-backend parallel shard event loops (0/1 = serial, -1 = GOMAXPROCS)")
 		batch    = flag.Bool("batch", false, "batch each iteration's communication plan: independent layer A2As and the DP all-reduce simulate concurrently (byte-identical results)")
 		fold     = flag.Bool("fold", false, "build 3-tier electrical fabrics symmetry-folded: identical pods/servers materialize lazily (byte-identical results)")
+		overlap  = flag.String("overlap", "", "compute/communication overlap discipline: none (default, serial accounting) | layer (hide collectives under the next layer's compute) | iter (also pipeline across iteration boundaries)")
 		gbps     = flag.Float64("gbps", 400, "NIC line rate in Gbit/s")
 		dp       = flag.Int("dp", 1, "data-parallel replicas")
 		iters    = flag.Int("iters", 3, "iterations to simulate")
@@ -54,7 +56,8 @@ func main() {
 	if *scen != "" {
 		runScenario(*scen, *backends, scenario.Config{
 			Model: *model, Fabric: strings.ToLower(*fabric), Backend: *backend,
-			CC: *cc, Workers: *workers, Batch: *batch, Fold: *fold, LinkGbps: *gbps, DP: *dp,
+			CC: *cc, Workers: *workers, Batch: *batch, Fold: *fold, Overlap: *overlap,
+			LinkGbps: *gbps, DP: *dp,
 			Iterations: *iters, Seed: *seed, FirstA2A: *mode,
 			ReconfigDelaySec: *delay / 1e3,
 		})
@@ -67,7 +70,7 @@ func main() {
 	}
 	res, err := mixnet.Simulate(mixnet.SimConfig{
 		Model: *model, Fabric: kind, Backend: *backend, CC: *cc, Workers: *workers,
-		Batch: *batch, Fold: *fold, LinkGbps: *gbps, DP: *dp,
+		Batch: *batch, Fold: *fold, Overlap: *overlap, LinkGbps: *gbps, DP: *dp,
 		FirstA2A: *mode, ReconfigDelaySec: *delay / 1e3,
 		Iterations: *iters, Seed: *seed,
 	})
@@ -86,6 +89,9 @@ func main() {
 	}
 	if *batch {
 		backendDesc += ", batched"
+	}
+	if *overlap != "" && *overlap != "none" {
+		backendDesc += ", overlap " + *overlap
 	}
 	fmt.Printf("%s on %v: %d GPUs across %d servers @%g Gbps (%s)\n",
 		*model, kind, res.GPUs, res.Servers, *gbps, backendDesc)

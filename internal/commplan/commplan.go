@@ -1,15 +1,21 @@
 // Package commplan compiles one training iteration's communication into a
 // DAG of steps and schedules it over a netsim backend. Each Step is an
 // independently simulatable workload (a compiled netsim.Phases: one layer's
-// A2A1 or A2A2, or the merged DP all-reduce) or a zero-flow barrier
-// carrying a precomputed reconfiguration delay. Dependency edges record
-// which barrier installed the circuits a step's routes were compiled
-// against; because compilation resolves routing up front (the plan builder
-// runs the controller loop serially), steps of different layers share no
-// simulator state and every ready frontier can be submitted to
-// Backend.BatchMakespan as one batch — the packet backend then drains all
-// (step, phase, shard) jobs on one worker pool, and the analytic backends
-// run a parallel step loop.
+// A2A1 or A2A2, or the merged DP all-reduce) or a zero-flow step priced as
+// a pure delay: a barrier carrying a precomputed reconfiguration cost, or a
+// KindCompute step carrying a modelled computation duration. Dependency
+// edges record which barrier installed the circuits a step's routes were
+// compiled against and, for overlap-aware plans, which computation gates
+// which communication; because compilation resolves routing up front (the
+// plan builder runs the controller loop serially), steps of different
+// layers share no simulator state and every ready frontier can be submitted
+// to Backend.BatchMakespan as one batch — the packet backend then drains
+// all (step, phase, shard) jobs on one worker pool, and the analytic
+// backends run a parallel step loop. Zero-flow steps resolve inside the
+// frontier pass without any backend call, releasing their successors into
+// the same drain, so comm steps separated only by compute — including steps
+// of two adjacent iterations in a rolling window — still fuse into one
+// batch.
 //
 // Results are deterministic and byte-identical to serial execution: a
 // step's makespan and per-flow finish times never depend on which other
@@ -44,6 +50,15 @@ const (
 	KindA2A2
 	// KindDP is the data-parallel gradient all-reduce.
 	KindDP
+	// KindCompute is a zero-flow computation step (attention, gate, expert
+	// FFN, add-norm, or their backward counterparts): its Delay is the
+	// modelled compute duration from dag.ComputeTimes, it is priced without
+	// any backend call, and its dependency edges are what let the scheduler
+	// overlap communication with computation.
+	KindCompute
+
+	// KindCount is the number of step kinds (for per-kind counters).
+	KindCount = int(KindCompute) + 1
 )
 
 func (k Kind) String() string {
@@ -54,6 +69,8 @@ func (k Kind) String() string {
 		return "a2a2"
 	case KindDP:
 		return "dp"
+	case KindCompute:
+		return "compute"
 	default:
 		return "barrier"
 	}
@@ -64,13 +81,15 @@ type Step struct {
 	ID    int
 	Kind  Kind
 	Layer int // layer index within the pipeline stage; -1 for non-layer steps
-	// Phases is the compiled workload; nil for barriers.
+	// Phases is the compiled workload; nil for zero-flow steps (barriers
+	// and compute).
 	Phases netsim.Phases
-	// Delay is a barrier's blocking cost in seconds (0 for simulated steps,
-	// whose cost is measured into Makespan by Execute).
+	// Delay is a zero-flow step's duration in seconds: a barrier's blocking
+	// cost or a compute step's modelled computation time (0 for simulated
+	// steps, whose cost is measured into Makespan by Execute).
 	Delay float64
 	// Makespan is filled by Execute: the step's simulated completion time
-	// (Delay for barriers).
+	// (Delay for zero-flow steps).
 	Makespan float64
 
 	depOff, depLen int32 // view into the plan's dependency arena
@@ -99,6 +118,14 @@ type Plan struct {
 	prevMeta []int64 // per step: depOff<<32 | depLen
 	indeg0   []int32
 	stats    Stats
+
+	// frontier-width accumulators (batches of width 1 in serial mode).
+	batches  uint64
+	widthSum uint64
+	widthMax int
+
+	// MakespanWindow scratch: per-step finish times within the window.
+	finish []float64
 }
 
 // Stats reports the plan's scheduling and compile-cache counters. Steps and
@@ -106,19 +133,40 @@ type Plan struct {
 // fold factor are forwarded from the collective compiler via
 // SetCompileStats.
 type Stats struct {
-	Steps      int     // steps in the current plan
+	Steps      int // steps in the current plan
+	ByKind     [KindCount]int
 	CSRBuilds  uint64  // Execute calls that rebuilt the successor CSR
 	CSRReuses  uint64  // Execute calls that reused the previous CSR
 	Hits       uint64  // collective compile-cache replays
 	Misses     uint64  // collective compile-cache fresh compiles
 	Bypasses   uint64  // cache entries skipped on salt-state divergence
 	FoldFactor float64 // topology fold factor (1 = fully materialized)
+
+	// Frontier widths over every batch Execute ever submitted (serial
+	// execution counts batches of one): the widest single BatchMakespan
+	// call and the mean width. Dependency-free plans collapse into one wide
+	// drain; overlap-aware plans trade width for dependency fidelity, with
+	// the rolling window's first drain still fusing steps of two adjacent
+	// iterations (this DP all-reduce with the next dispatch A2A).
+	FrontierMax  int
+	FrontierMean float64
 }
 
-// Stats returns the counters accumulated since the plan was created.
+// Stats returns the counters accumulated since the plan was created. Steps
+// and ByKind describe the current plan; the frontier and CSR counters are
+// cumulative across Execute calls.
 func (p *Plan) Stats() Stats {
 	s := p.stats
 	s.Steps = len(p.steps)
+	for i := range p.steps {
+		if k := int(p.steps[i].Kind); k < KindCount {
+			s.ByKind[k]++
+		}
+	}
+	s.FrontierMax = p.widthMax
+	if p.batches > 0 {
+		s.FrontierMean = float64(p.widthSum) / float64(p.batches)
+	}
 	return s
 }
 
@@ -149,8 +197,8 @@ func (p *Plan) Step(id int) *Step { return &p.steps[id] }
 // Steps returns the step slice, valid until the next Reset.
 func (p *Plan) Steps() []Step { return p.steps }
 
-// Add appends a step and returns its ID. phases must be nil for barriers;
-// deps are added with AddDep.
+// Add appends a step and returns its ID. phases must be nil for zero-flow
+// steps (barriers, compute); deps are added with AddDep.
 func (p *Plan) Add(kind Kind, layer int, phases netsim.Phases, delay float64) int {
 	id := len(p.steps)
 	if cap(p.steps) > id {
@@ -204,6 +252,60 @@ func (p *Plan) Makespans(kind Kind) float64 {
 	}
 	return s
 }
+
+// recordWidth folds one submitted batch's width into the cumulative
+// frontier statistics.
+func (p *Plan) recordWidth(w int) {
+	p.batches++
+	p.widthSum += uint64(w)
+	if w > p.widthMax {
+		p.widthMax = w
+	}
+}
+
+// MakespanWindow returns the critical-path length of the step range
+// [lo, hi): the longest chain of per-step makespans along dependency edges
+// whose endpoints both lie in the range (edges into earlier windows are
+// treated as already satisfied at time zero). Because AddDep only accepts
+// already-added steps, ID order is a topological order and one forward pass
+// suffices. Call after Execute has filled Makespans; the scratch is reused,
+// so steady-state calls allocate nothing.
+func (p *Plan) MakespanWindow(lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.steps) {
+		hi = len(p.steps)
+	}
+	if lo >= hi {
+		return 0
+	}
+	n := hi - lo
+	if cap(p.finish) < n {
+		p.finish = make([]float64, n)
+	}
+	fin := p.finish[:n]
+	var cp float64
+	for i := lo; i < hi; i++ {
+		var start float64
+		for _, d := range p.Deps(i) {
+			if int(d) >= lo {
+				if f := fin[int(d)-lo]; f > start {
+					start = f
+				}
+			}
+		}
+		f := start + p.steps[i].Makespan
+		fin[i-lo] = f
+		if f > cp {
+			cp = f
+		}
+	}
+	return cp
+}
+
+// CriticalPath is MakespanWindow over the whole plan.
+func (p *Plan) CriticalPath() float64 { return p.MakespanWindow(0, len(p.steps)) }
 
 // grow ensures the scheduling arenas cover n steps and the dependency count.
 func (p *Plan) grow(n int) {
@@ -368,6 +470,7 @@ func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
 					return err
 				}
 				p.widths = append(p.widths, len(batchIDs))
+				p.recordWidth(len(batchIDs))
 				for k, id := range batchIDs {
 					p.steps[id].Makespan = ms[k]
 					done++
@@ -380,6 +483,7 @@ func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
 					}
 					p.steps[id].Makespan = ms
 					p.widths = append(p.widths, 1)
+					p.recordWidth(1)
 					done++
 				}
 			}

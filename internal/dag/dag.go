@@ -60,6 +60,17 @@ type PhaseTimes struct {
 // Forward returns the summed forward computation time.
 func (p PhaseTimes) Forward() float64 { return p.Attention + p.Gate + p.Expert + p.AddNorm }
 
+// Backward returns the backward computation time of the non-expert phases
+// (attention + gate + add&norm) scaled by the calibration's backward
+// factor. Overlap-aware plans schedule it separately from BackwardExpert so
+// the combine all-to-all's gradient traffic can hide under it.
+func (p PhaseTimes) Backward(factor float64) float64 {
+	return factor * (p.Attention + p.Gate + p.AddNorm)
+}
+
+// BackwardExpert returns the expert FFN's backward computation time.
+func (p PhaseTimes) BackwardExpert(factor float64) float64 { return factor * p.Expert }
+
 // ComputeTimes evaluates the phase model. expertLoadShare is the fraction
 // of the EP group's dispatched tokens that this rank's experts process
 // (1/EP when perfectly balanced); the hottest rank paces the group, so
@@ -102,7 +113,10 @@ func LayersPerStageMax(blocks, pp int) int { return (blocks + pp - 1) / pp }
 // PipelineIterationTime applies the 1F1B schedule bound: with m
 // micro-batches and p stages, the iteration takes (m + p - 1) micro-batch
 // slots of the slowest stage, each slot costing that stage's forward plus
-// backward time.
+// backward time. The slot costs are closed-form serial sums by default;
+// overlap-aware engines (trainsim.Options.Overlap) substitute the
+// communication-plan DAG's critical path for each slot instead, so the
+// schedule arithmetic here is shared by both disciplines.
 func PipelineIterationTime(fwdSlowest, bwdSlowest float64, microBatches, pp int) float64 {
 	if microBatches < 1 {
 		microBatches = 1

@@ -46,6 +46,7 @@ func Registry() []Runner {
 		{"abl_numa", func(Scale) (Table, error) { return AblationNUMAPermute() }},
 		{"abl_fluid", func(Scale) (Table, error) { return AblationFluidVsPacket() }},
 		{"abl_cc", func(Scale) (Table, error) { return AblationCongestionControl() }},
+		{"abl_overlap", AblationOverlap},
 	}
 }
 

@@ -112,6 +112,32 @@ func SetDefaultFold(on bool) { defaultFold = on }
 // DefaultFold returns whether experiment clusters build symmetry-folded.
 func DefaultFold() bool { return defaultFold }
 
+// defaultOverlap selects the compute/communication overlap discipline
+// (trainsim.Options.Overlap) for every experiment engine. Like
+// defaultBackend it is set once before a run; "" and "none" keep the
+// historical serial accounting.
+var defaultOverlap string
+
+// SetDefaultOverlap selects the overlap discipline ("none", "layer", "iter")
+// for all experiment engines. Call it before Run/RunIDs, not concurrently
+// with them.
+func SetDefaultOverlap(name string) error {
+	if err := trainsim.ValidOverlap(name); err != nil {
+		return err
+	}
+	defaultOverlap = name
+	return nil
+}
+
+// DefaultOverlap returns the overlap discipline experiment engines price
+// iterations with.
+func DefaultOverlap() string {
+	if defaultOverlap == "" {
+		return "none"
+	}
+	return defaultOverlap
+}
+
 // newEngine builds a training engine, applying the package default backend,
 // congestion controller, packet shard parallelism and communication-plan
 // batching when opts doesn't name them.
@@ -130,6 +156,9 @@ func newEngine(m moe.Model, plan moe.TrainPlan, c *topo.Cluster, opts trainsim.O
 	}
 	if defaultFold {
 		opts.Fold = true
+	}
+	if opts.Overlap == "" {
+		opts.Overlap = defaultOverlap
 	}
 	return trainsim.New(m, plan, c, opts)
 }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAblationOverlapShape: overlap disciplines must never slow an
+// iteration down (edges only relax the serial ordering), must materialise
+// compute steps in the plan, and the rolling window's pooled packet-event
+// bound must stay above the cross-step batching baseline from the
+// batched-plans PR (25x at quick-Mixtral scale).
+func TestAblationOverlapShape(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("engine experiment")
+	}
+	tab, err := AblationOverlap(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per overlap discipline", len(tab.Rows))
+	}
+	none := parseF(t, tab.Rows[0][1])
+	for _, r := range tab.Rows[1:] {
+		if v := parseF(t, r[1]); v > none {
+			t.Errorf("overlap %s iteration time %.3f above serial %.3f", r[0], v, none)
+		}
+		if parseF(t, r[6]) == 0 {
+			t.Errorf("overlap %s plan has no compute steps", r[0])
+		}
+	}
+	if parseF(t, tab.Rows[0][6]) != 0 {
+		t.Error("serial accounting grew compute steps")
+	}
+	if bound := parseF(t, tab.Rows[2][7]); bound <= 25 {
+		t.Errorf("rolling-window pooled event bound %.2fx not above the 25x batching baseline", bound)
+	}
+}
+
+// TestMultiCoreWallClock: the report must always carry the structural
+// event-concurrency bound, mark single-core hosts, and only claim a
+// wall-clock speedup when a second core exists to run shards on.
+func TestMultiCoreWallClock(t *testing.T) {
+	t.Parallel()
+	rep := MultiCoreWallClock()
+	if rep == nil {
+		t.Fatal("no multi-core report")
+	}
+	if rep.Cores != runtime.GOMAXPROCS(0) {
+		t.Errorf("cores %d != GOMAXPROCS %d", rep.Cores, runtime.GOMAXPROCS(0))
+	}
+	if rep.EventBound <= 1 {
+		t.Errorf("structural event bound %.2fx, want > 1x", rep.EventBound)
+	}
+	if rep.SerialSec <= 0 || rep.Steps == 0 || rep.Flows == 0 {
+		t.Errorf("degenerate workload: %+v", rep)
+	}
+	if rep.SingleCore != (rep.Cores == 1) {
+		t.Errorf("single_core marker %v inconsistent with %d cores", rep.SingleCore, rep.Cores)
+	}
+	if rep.SingleCore && (rep.Speedup != 0 || rep.ShardedSec != 0) {
+		t.Errorf("single-core host claims a sharded measurement: %+v", rep)
+	}
+	if !rep.SingleCore && rep.Speedup <= 0 {
+		t.Errorf("multi-core host measured no speedup: %+v", rep)
+	}
+}

@@ -65,6 +65,13 @@ type Config struct {
 	// changes memory and build time. Ignored by fabrics without identical
 	// pods (rail, topoopt, mixnet).
 	Fold bool
+	// Overlap is the compute/communication overlap discipline: "none"
+	// (default, serial accounting), "layer" (computation joins the plan DAG
+	// and each pipeline slot is priced by its critical path) or "iter"
+	// ("layer" plus the rolling cross-iteration window that hides the DP
+	// all-reduce behind the next iteration's prefetched dispatch). See
+	// trainsim.Options.Overlap.
+	Overlap string
 }
 
 // Result summarises one scenario run on one backend.
@@ -206,7 +213,8 @@ func newEngine(cfg Config, src trainsim.IterationSource) (*trainsim.Engine, erro
 	}
 	opts := trainsim.Options{
 		GateSeed: cfg.Seed, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, BatchComm: cfg.Batch, Fold: cfg.Fold, Source: src,
+		Workers: cfg.Workers, BatchComm: cfg.Batch, Fold: cfg.Fold,
+		Overlap: cfg.Overlap, Source: src,
 	}
 	if cfg.Fabric == "mixnet" {
 		opts.Device = ocs.NewFixedDevice(cfg.ReconfigDelaySec)

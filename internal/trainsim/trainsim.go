@@ -103,6 +103,52 @@ type Options struct {
 	// front, so engines behave identically to the eager build. Results are
 	// byte-identical either way; folding only changes memory and build time.
 	Fold bool
+	// Overlap selects the compute/communication overlap discipline:
+	//
+	//   "none" (default) — serial accounting: every phase of a slot is
+	//     summed, byte-identical to the historical tables;
+	//   "layer" — computation joins the communication plan as zero-flow
+	//     KindCompute steps with real dependency edges, and each pipeline
+	//     slot is priced by the DAG's critical path, so layer k's combine
+	//     all-to-all drains while layer k+1's attention computes and
+	//     reconfiguration residuals hide under attention;
+	//   "iter" — "layer" plus a rolling cross-iteration window: the next
+	//     iteration's gate outcome is peeked, its layer-0 reconfiguration
+	//     and dispatch all-to-all are appended to the current plan (fusing
+	//     with the DP all-reduce in one backend drain), and only the DP
+	//     residual that the prefetched window cannot hide is charged.
+	Overlap string
+}
+
+// overlapMode is Options.Overlap parsed.
+type overlapMode uint8
+
+const (
+	overlapNone overlapMode = iota
+	overlapLayer
+	overlapIter
+)
+
+// OverlapModes lists the recognised overlap disciplines.
+func OverlapModes() []string { return []string{"none", "layer", "iter"} }
+
+func parseOverlap(name string) (overlapMode, error) {
+	switch name {
+	case "", "none":
+		return overlapNone, nil
+	case "layer":
+		return overlapLayer, nil
+	case "iter":
+		return overlapIter, nil
+	}
+	return overlapNone, fmt.Errorf("trainsim: unknown overlap discipline %q (have none, layer, iter)", name)
+}
+
+// ValidOverlap reports whether name is a recognised overlap discipline
+// ("" selects none).
+func ValidOverlap(name string) error {
+	_, err := parseOverlap(name)
+	return err
 }
 
 // IterationSource supplies gate outcomes; the default is the synthetic
@@ -158,16 +204,48 @@ type Engine struct {
 	// arenas across Reset).
 	cplan *commplan.Plan
 	recs  []layerRec
+
+	// overlap state. Under Overlap "iter" the engine keeps a rolling plan
+	// window: nextIt buffers the peeked gate outcome whose layer-0 work was
+	// prefetched into the current plan, prefix indexes those steps, and
+	// carry replays their measured results in the next iteration.
+	overlap overlapMode
+	peeked  bool
+	nextIt  *moe.Iteration
+	prefix  prefixSteps
+	carry   prefixCarry
+}
+
+// prefixSteps indexes the rolling window's next-iteration steps inside the
+// current plan: the layer-0 attention+gate compute, the reconfiguration
+// barrier (-1 when absent) and the dispatch all-to-all (-1 when no prefix
+// was appended).
+type prefixSteps struct {
+	c, b, a int
+	block1  float64
+}
+
+// prefixCarry replays the prefetched layer-0 work in the next iteration:
+// its dispatch A2A was compiled and simulated as part of the previous
+// window (while its circuits were installed), so the next iteration
+// substitutes zero-flow echo steps carrying the measured values — the
+// dependency arena keeps the same shape, so the CSR snapshot still matches.
+type prefixCarry struct {
+	valid  bool
+	block1 float64 // residual blocking cost of the prefetched reconfiguration
+	a2a1   float64 // measured makespan of the prefetched dispatch A2A
 }
 
 // layerRec carries one layer's compute model and reconfiguration penalties
 // from the plan-building pass to the accounting pass, plus the plan step
-// IDs of its two all-to-alls.
+// IDs of its two all-to-alls and (overlap disciplines only) of its backward
+// gradient-A2A echo steps.
 type layerRec struct {
 	pt                           dag.PhaseTimes
 	comp                         float64
 	block1, penalty2, bwdPenalty float64
 	a2a1, a2a2                   int
+	bEcho1, bEcho2               int
 }
 
 // PhaseBreakdown is Figure 3's per-layer forward timeline.
@@ -233,11 +311,16 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if err != nil {
 		return nil, fmt.Errorf("trainsim: %w", err)
 	}
+	overlap, err := parseOverlap(opts.Overlap)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		Model: m, Plan: plan, Cluster: cluster, Place: place,
 		Gate: source, Opts: opts,
-		ctx:   collective.NewCtxWithBackend(cluster, backend),
-		cplan: commplan.New(),
+		ctx:     collective.NewCtxWithBackend(cluster, backend),
+		cplan:   commplan.New(),
+		overlap: overlap,
 	}
 	e.region = -1
 	if len(cluster.Regions) > 0 {
@@ -402,14 +485,29 @@ func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
 //     ready frontiers per Backend.BatchMakespan call so independent layers'
 //     A2As and the DP all-reduce share the worker pool;
 //  3. account — per-layer stage times combine the simulated makespans with
-//     the compute model exactly as the historical inline loop did.
+//     the compute model exactly as the historical inline loop did; under an
+//     overlap discipline (Options.Overlap) each pipeline slot is instead
+//     priced by the plan's critical path over compute and comm steps, and
+//     "iter" additionally charges only the DP residual the next iteration's
+//     prefetched layer-0 window cannot hide.
 //
 // Deferring simulation is sound because compiled phases freeze their
 // routes: later reconfigurations detach superseded circuit links from the
 // adjacency but leave their simulation fields intact (see topo.Link).
+// Under Overlap "iter" the engine keeps a rolling window: the next gate
+// outcome is peeked here and its layer-0 prefix joins this plan, so
+// Reconfigs counts the prefetched reconfiguration in the window that
+// performed it.
 func (e *Engine) RunIteration() (IterStats, error) {
 	m, p := e.Model, e.Plan
-	it := e.Gate.Next()
+	var it *moe.Iteration
+	if e.peeked {
+		// Overlap "iter": the previous window already consumed this gate
+		// outcome to prefetch layer 0.
+		it, e.nextIt, e.peeked = e.nextIt, nil, false
+	} else {
+		it = e.Gate.Next()
+	}
 	if it == nil || len(it.Layers) < m.Blocks {
 		return IterStats{}, fmt.Errorf("trainsim: iteration source yielded %d layers, need %d",
 			lenLayers(it), m.Blocks)
@@ -422,9 +520,14 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	liMax := dag.LayersPerStageMax(m.Blocks, p.PP)
 	stageLayers := dag.StageLayers(m.Blocks, p.PP, 0)
 
-	// Pass 1: build the communication plan.
+	// Pass 1: build the communication plan. ov adds zero-flow KindCompute
+	// steps and the dependency edges that let communication overlap them;
+	// with ov false the plan is byte-identical to the historical serial
+	// build (no compute steps, no extra edges).
+	ov := e.overlap != overlapNone
 	e.cplan.Reset()
 	recs := e.recs[:0]
+	prevEF := -1 // previous layer's expert-FFN compute step (overlap only)
 	for li := 0; li < liMax && li < len(stageLayers); li++ {
 		l := stageLayers[li]
 		d := it.Layers[l].RankMatrix
@@ -432,53 +535,80 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		cols := d.ColSums()
 		share := metrics.Max(cols) / math.Max(d.Total(), 1)
 		rec := layerRec{pt: dag.ComputeTimes(m, p, e.Opts.Calib, share)}
+		// Overlap "iter": layer 0 was prefetched into the previous window —
+		// replay the measured reconfiguration and dispatch A2A as zero-flow
+		// echoes instead of reapplying/recompiling.
+		carried := li == 0 && e.overlap == overlapIter && e.carry.valid
 
 		barrier1, barrier2 := -1, -1
 		if e.controller != nil {
-			// First A2A of the forward pass (§5.1).
-			switch e.Opts.FirstA2A {
-			case FirstA2ABlock:
-				delay, err := e.planAndApply(d, servers)
-				if err != nil {
-					return stats, err
-				}
-				rec.block1 = delay
-			case FirstA2AReuse:
-				// Keep whatever circuits are installed (previous layer /
-				// previous iteration); no reconfiguration, no block.
-			case FirstA2ACopilot:
-				var planD *metrics.Matrix
-				if l == 0 {
-					if e.havePrev {
-						planD = e.prevLayer0
-					} else {
-						planD = d // first-ever iteration: oracle warm start
+			if carried {
+				rec.block1 = e.carry.block1
+			} else {
+				// First A2A of the forward pass (§5.1).
+				switch e.Opts.FirstA2A {
+				case FirstA2ABlock:
+					delay, err := e.planAndApply(d, servers)
+					if err != nil {
+						return stats, err
 					}
-				} else {
-					planD = e.predictedDemand(li, it.Layers[l-1].Loads)
-				}
-				delay, err := e.planAndApply(planD, servers)
-				if err != nil {
-					return stats, err
-				}
-				// Proactive: reconfiguration hides under the previous
-				// layer's computation unless it exceeds that window.
-				hideWin := e.Opts.Calib.BackwardFactor * rec.pt.Expert
-				if delay > hideWin {
-					rec.block1 = delay - hideWin
+					rec.block1 = delay
+				case FirstA2AReuse:
+					// Keep whatever circuits are installed (previous layer /
+					// previous iteration); no reconfiguration, no block.
+				case FirstA2ACopilot:
+					var planD *metrics.Matrix
+					if l == 0 {
+						if e.havePrev {
+							planD = e.prevLayer0
+						} else {
+							planD = d // first-ever iteration: oracle warm start
+						}
+					} else {
+						planD = e.predictedDemand(li, it.Layers[l-1].Loads)
+					}
+					delay, err := e.planAndApply(planD, servers)
+					if err != nil {
+						return stats, err
+					}
+					// Proactive: reconfiguration hides under the previous
+					// layer's computation unless it exceeds that window.
+					hideWin := e.Opts.Calib.BackwardFactor * rec.pt.Expert
+					if delay > hideWin {
+						rec.block1 = delay - hideWin
+					}
 				}
 			}
 			if e.Opts.FirstA2A != FirstA2AReuse {
 				barrier1 = e.cplan.Add(commplan.KindBarrier, li, nil, rec.block1)
+				if ov && prevEF >= 0 {
+					e.cplan.AddDep(barrier1, prevEF)
+				}
 			}
 		}
-		phases1, err := e.compileA2A(d)
-		if err != nil {
-			return stats, err
+		cf := -1
+		if ov {
+			// Attention + gate of this layer; the dispatch A2A needs its
+			// routed tokens, but the layer's reconfiguration hides under it.
+			cf = e.cplan.Add(commplan.KindCompute, li, nil, rec.pt.Attention+rec.pt.Gate)
+			if prevEF >= 0 {
+				e.cplan.AddDep(cf, prevEF)
+			}
 		}
-		rec.a2a1 = e.cplan.Add(commplan.KindA2A1, li, phases1, 0)
+		if carried {
+			rec.a2a1 = e.cplan.Add(commplan.KindA2A1, li, nil, e.carry.a2a1)
+		} else {
+			phases1, err := e.compileA2A(d)
+			if err != nil {
+				return stats, err
+			}
+			rec.a2a1 = e.cplan.Add(commplan.KindA2A1, li, phases1, 0)
+		}
 		if barrier1 >= 0 {
 			e.cplan.AddDep(rec.a2a1, barrier1)
+		}
+		if cf >= 0 {
+			e.cplan.AddDep(rec.a2a1, cf)
 		}
 
 		if e.controller != nil {
@@ -496,7 +626,19 @@ func (e *Engine) RunIteration() (IterStats, error) {
 			if delay > bwdWin {
 				rec.bwdPenalty = 2 * (delay - bwdWin)
 			}
+		}
+		ef := -1
+		if ov {
+			// Expert FFN: gated by the dispatch A2A, gates the combine A2A
+			// and the next layer's work.
+			ef = e.cplan.Add(commplan.KindCompute, li, nil, rec.pt.Expert)
+			e.cplan.AddDep(ef, rec.a2a1)
+		}
+		if e.controller != nil {
 			barrier2 = e.cplan.Add(commplan.KindBarrier, li, nil, rec.penalty2)
+			if ef >= 0 {
+				e.cplan.AddDep(barrier2, ef)
+			}
 		}
 		if e.transposeBuf == nil || e.transposeBuf.Rows != d.Cols || e.transposeBuf.Cols != d.Rows {
 			e.transposeBuf = metrics.NewMatrix(d.Cols, d.Rows)
@@ -509,6 +651,15 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		rec.a2a2 = e.cplan.Add(commplan.KindA2A2, li, phases2, 0)
 		if barrier2 >= 0 {
 			e.cplan.AddDep(rec.a2a2, barrier2)
+		} else if ef >= 0 {
+			e.cplan.AddDep(rec.a2a2, ef)
+		}
+		if ov {
+			// Add&norm is a hidden side branch: the next layer waits on the
+			// expert FFN, not on the combine A2A's tail.
+			nf := e.cplan.Add(commplan.KindCompute, li, nil, rec.pt.AddNorm)
+			e.cplan.AddDep(nf, rec.a2a2)
+			prevEF = ef
 		}
 
 		rec.comp = rec.pt.Forward() + e.tpOverEPSPenalty()
@@ -521,6 +672,42 @@ func (e *Engine) RunIteration() (IterStats, error) {
 				e.estimators[li].Fit()
 			}
 		}
+	}
+
+	// Backward slot subgraph (overlap only): reverse-order zero-flow chain
+	// barrier(bwdPenalty) -> combine-A2A gradient echo -> expert backward ->
+	// non-expert backward, with the dispatch-A2A gradient echo as a hidden
+	// side branch. The echo steps' makespans are patched from the measured
+	// forward A2As after Execute (the backward pass moves the same bytes
+	// over the same circuits).
+	bwdLo, bwdHi := -1, -1
+	if ov {
+		bwdLo = e.cplan.Len()
+		bf := e.Opts.Calib.BackwardFactor
+		prev := -1
+		for li := len(recs) - 1; li >= 0; li-- {
+			rec := &recs[li]
+			if e.controller != nil {
+				bp := e.cplan.Add(commplan.KindBarrier, li, nil, rec.bwdPenalty)
+				if prev >= 0 {
+					e.cplan.AddDep(bp, prev)
+				}
+				prev = bp
+			}
+			e2 := e.cplan.Add(commplan.KindA2A2, li, nil, 0)
+			if prev >= 0 {
+				e.cplan.AddDep(e2, prev)
+			}
+			be := e.cplan.Add(commplan.KindCompute, li, nil, rec.pt.BackwardExpert(bf))
+			e.cplan.AddDep(be, e2)
+			e1 := e.cplan.Add(commplan.KindA2A1, li, nil, 0)
+			e.cplan.AddDep(e1, be)
+			bc := e.cplan.Add(commplan.KindCompute, li, nil, rec.pt.Backward(bf))
+			e.cplan.AddDep(bc, be)
+			rec.bEcho1, rec.bEcho2 = e1, e2
+			prev = bc
+		}
+		bwdHi = e.cplan.Len()
 	}
 	e.recs = recs
 	if e.controller != nil {
@@ -539,12 +726,40 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		}
 	}
 
+	// Overlap "iter": peek the next gate outcome and append its layer-0
+	// prefix (compute, reconfiguration, dispatch A2A) to this window. The
+	// prefix has no dependencies on this iteration's steps, so it fuses
+	// with the DP all-reduce in the first ready frontier — one backend
+	// drain spans two adjacent iterations.
+	e.prefix = prefixSteps{c: -1, b: -1, a: -1}
+	if e.overlap == overlapIter {
+		if err := e.buildPrefix(servers, stageLayers); err != nil {
+			return stats, err
+		}
+	}
+
 	// Pass 2: simulate the plan.
 	if err := e.cplan.Execute(e.Cluster.G, e.ctx.Backend(), e.Opts.BatchComm); err != nil {
 		return stats, err
 	}
 	ms := e.ctx.MemoStats()
 	e.cplan.SetCompileStats(ms.Hits, ms.Misses, ms.Bypasses, e.Cluster.FoldFactor())
+	if ov {
+		// Patch the backward gradient-A2A echoes from the measured forward
+		// makespans (safe after Execute: zero-flow steps never influence
+		// simulated results, only the critical path read below).
+		for li := range e.recs {
+			rec := &e.recs[li]
+			e.cplan.Step(rec.bEcho1).Makespan = e.cplan.Step(rec.a2a1).Makespan
+			e.cplan.Step(rec.bEcho2).Makespan = e.cplan.Step(rec.a2a2).Makespan
+		}
+	}
+	if e.prefix.a >= 0 {
+		e.carry = prefixCarry{valid: true, block1: e.prefix.block1,
+			a2a1: e.cplan.Step(e.prefix.a).Makespan}
+	} else {
+		e.carry = prefixCarry{}
+	}
 
 	// Pass 3: accounting — the historical inline float sequence, fed by the
 	// plan's per-step makespans.
@@ -574,6 +789,15 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	}
 	stats.FwdStage = fwd + ppSend
 	stats.BwdStage = bwd + ppSend
+	if ov {
+		// Overlap disciplines price each pipeline slot by the plan's
+		// critical path instead of the serial sum: communication gated only
+		// by dependency edges hides under concurrent computation. The A2A /
+		// Compute / Blocked stats stay serial sums so the composition of a
+		// slot remains comparable across disciplines.
+		stats.FwdStage = e.cplan.MakespanWindow(0, bwdLo) + ppSend
+		stats.BwdStage = e.cplan.MakespanWindow(bwdLo, bwdHi) + ppSend
+	}
 	stats.A2A = a2aTot
 	stats.Compute = compTot
 	stats.Blocked = blocked
@@ -583,9 +807,83 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	// DP gradient all-reduce across replicas (§5.3 hierarchical scheme).
 	if dpStep >= 0 {
 		stats.DPTime = e.cplan.Step(dpStep).Makespan
-		stats.Time += stats.DPTime
+		dpCharge := stats.DPTime
+		if e.overlap == overlapIter && e.prefix.a >= 0 {
+			// The next iteration's prefetched layer-0 window drains while
+			// the all-reduce is still in flight; only the residual the
+			// window cannot hide is charged to this iteration.
+			hide := e.cplan.MakespanWindow(e.prefix.c, e.cplan.Len())
+			if dpCharge > hide {
+				dpCharge -= hide
+			} else {
+				dpCharge = 0
+			}
+		}
+		stats.Time += dpCharge
 	}
 	return stats, nil
+}
+
+// buildPrefix peeks the next gate outcome and appends its layer-0 prefix —
+// attention+gate compute, the first-A2A reconfiguration (charged by the
+// same §5.1 mode semantics as the in-iteration path), and the compiled
+// dispatch all-to-all — to the current plan. Compiling here is sound for
+// the same reason the in-iteration deferral is: the apply sequence is
+// identical to what the serial engine would run at the top of the next
+// iteration (nothing touches the region's circuits in between), and
+// compiled phases freeze their routes.
+func (e *Engine) buildPrefix(servers []int, stageLayers []int) error {
+	e.peeked = true
+	e.nextIt = e.Gate.Next()
+	next := e.nextIt
+	if next == nil || len(next.Layers) < e.Model.Blocks || len(stageLayers) == 0 {
+		return nil // exhausted source: the next RunIteration reports it
+	}
+	d := next.Layers[stageLayers[0]].RankMatrix
+	cols := d.ColSums()
+	share := metrics.Max(cols) / math.Max(d.Total(), 1)
+	pt := dag.ComputeTimes(e.Model, e.Plan, e.Opts.Calib, share)
+	var block1 float64
+	if e.controller != nil {
+		switch e.Opts.FirstA2A {
+		case FirstA2ABlock:
+			delay, err := e.planAndApply(d, servers)
+			if err != nil {
+				return err
+			}
+			block1 = delay
+		case FirstA2AReuse:
+		case FirstA2ACopilot:
+			planD := d // first-ever iteration oracle warm start (unreachable here)
+			if e.havePrev {
+				planD = e.prevLayer0
+			}
+			delay, err := e.planAndApply(planD, servers)
+			if err != nil {
+				return err
+			}
+			hideWin := e.Opts.Calib.BackwardFactor * pt.Expert
+			if delay > hideWin {
+				block1 = delay - hideWin
+			}
+		}
+	}
+	pC := e.cplan.Add(commplan.KindCompute, 0, nil, pt.Attention+pt.Gate)
+	pB := -1
+	if e.controller != nil && e.Opts.FirstA2A != FirstA2AReuse {
+		pB = e.cplan.Add(commplan.KindBarrier, 0, nil, block1)
+	}
+	phases, err := e.compileA2A(d)
+	if err != nil {
+		return err
+	}
+	pA := e.cplan.Add(commplan.KindA2A1, 0, phases, 0)
+	e.cplan.AddDep(pA, pC)
+	if pB >= 0 {
+		e.cplan.AddDep(pA, pB)
+	}
+	e.prefix = prefixSteps{c: pC, b: pB, a: pA, block1: block1}
+	return nil
 }
 
 // compileDPAllReduce compiles the hierarchical gradient all-reduce into one

@@ -93,6 +93,14 @@ type SimConfig struct {
 	// scale. Results are byte-identical with and without Fold; fabrics
 	// without identical pods ignore it.
 	Fold bool
+	// Overlap selects the compute/communication overlap discipline:
+	// "none" (default) prices each iteration as the historical serial
+	// sum, "layer" overlaps layer k's collectives with layer k+1's
+	// computation via DAG critical-path accounting, and "iter" extends
+	// the plan across iteration boundaries so the next iteration's gate
+	// and dispatch start while the DP all-reduce drains. "none" is
+	// byte-identical to prior releases. See SimOverlapModes.
+	Overlap string
 }
 
 // Result summarises a simulation.
@@ -144,7 +152,7 @@ func Simulate(cfg SimConfig) (Result, error) {
 	}
 	engine, err := scenario.NewEngine(scenario.Config{
 		Model: cfg.Model, Fabric: fabricName, Backend: cfg.Backend, CC: cfg.CC,
-		Workers: cfg.Workers, Batch: cfg.Batch, Fold: cfg.Fold,
+		Workers: cfg.Workers, Batch: cfg.Batch, Fold: cfg.Fold, Overlap: cfg.Overlap,
 		LinkGbps: cfg.LinkGbps, DP: cfg.DP, Seed: cfg.Seed,
 		FirstA2A: cfg.FirstA2A, ReconfigDelaySec: cfg.ReconfigDelaySec,
 	})
@@ -179,6 +187,10 @@ func SimBackends() []string { return netsim.Names() }
 // SimCongestionControls lists the packet backend's congestion controllers:
 // "fixed", "dcqcn", "swift".
 func SimCongestionControls() []string { return packetsim.CCNames() }
+
+// SimOverlapModes lists the compute/communication overlap disciplines:
+// "none", "layer", "iter".
+func SimOverlapModes() []string { return trainsim.OverlapModes() }
 
 // ListModels returns the model registry names in sorted order.
 func ListModels() []string {
