@@ -1,0 +1,145 @@
+// mixnet-lint runs the internal/analysis analyzer suite, which mechanically
+// enforces the simulator's determinism, zero-alloc and slot-indexing
+// invariants (see README.md "Static analysis").
+//
+// Standalone:
+//
+//	go run ./cmd/mixnet-lint ./...
+//	go run ./cmd/mixnet-lint -only detlint,slotlint ./internal/collective
+//
+// Exit status 1 when findings are reported; diagnostics go to stdout as
+// file:line:col: analyzer: message.
+//
+// As a vet tool (the cmd/go unitchecker protocol: -V=full version handshake,
+// then a vet.cfg describing one compilation unit):
+//
+//	go build -o /tmp/mixnet-lint ./cmd/mixnet-lint
+//	go vet -vettool=/tmp/mixnet-lint ./...
+//
+// In vet mode diagnostics go to stderr and findings exit 2, matching what
+// cmd/go expects from analysis tools.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mixnet/internal/analysis"
+)
+
+func main() {
+	// cmd/go protocol probes arrive before normal flags.
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "--V=full":
+			// cmd/go parses this line for the tool's build ID (see
+			// go/internal/work/buildid.go): a "devel" version must end in a
+			// buildID= field. Hashing our own executable means a rebuilt
+			// tool invalidates go vet's action cache.
+			fmt.Printf("mixnet-lint version devel buildID=%s\n", selfID())
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]") // no analyzer flags are exposed to go vet
+			return
+		}
+	}
+
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mixnet-lint [-only a,b] [packages]\n       (as vet tool) go vet -vettool=$(which mixnet-lint) ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0], analyzers))
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", args)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mixnet-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// runVetUnit analyzes one compilation unit described by a go vet config.
+func runVetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	pkg, vetxOutput, skip, err := analysis.LoadVetConfig(cfgPath)
+	// cmd/go always expects the facts file; the suite is factless, so an
+	// empty one satisfies the protocol.
+	writeVetx := func() {
+		if vetxOutput != "" {
+			if werr := os.WriteFile(vetxOutput, nil, 0o666); werr != nil {
+				fmt.Fprintln(os.Stderr, "mixnet-lint:", werr)
+			}
+		}
+	}
+	if err != nil {
+		writeVetx()
+		fmt.Fprintln(os.Stderr, "mixnet-lint:", err)
+		return 1
+	}
+	if skip {
+		writeVetx()
+		return 0
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+	writeVetx()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mixnet-lint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2 // the unitchecker "diagnostics reported" status
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixnet-lint:", err)
+	os.Exit(2)
+}
+
+// selfID hashes the running executable for the -V=full build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			sum := sha256.Sum256(data)
+			return fmt.Sprintf("%x/%x", sum[:12], sum[:12])
+		}
+	}
+	return "mixnet-lint-static/mixnet-lint-static"
+}

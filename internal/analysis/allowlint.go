@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AllowLint keeps the directive system honest:
+//
+//   - every //mixnet:allow must carry a reason — a suppression nobody can
+//     re-evaluate later is a permanent blind spot. (An allow without a
+//     reason still suppresses the underlying diagnostic, so the build
+//     fails with this one actionable message instead of two.)
+//   - //mixnet:noalloc must sit in a function declaration's doc comment;
+//     anywhere else it silently checks nothing.
+//   - unknown //mixnet: verbs are typos that would otherwise silently
+//     check nothing.
+var AllowLint = &Analyzer{
+	Name: "allowlint",
+	Doc:  "every //mixnet:allow needs a reason; //mixnet:noalloc must annotate a function; unknown verbs are typos",
+	Run:  runAllowLint,
+}
+
+var knownVerbs = map[string]bool{"allow": true, "noalloc": true}
+
+func runAllowLint(pass *Pass) error {
+	// Positions of noalloc directives that sit in a FuncDecl doc block.
+	attached := map[token.Position]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == "noalloc" {
+					attached[pass.Fset.Position(c.Pos())] = true
+				}
+			}
+		}
+	}
+	for _, d := range pass.directives.all {
+		switch {
+		case !knownVerbs[d.verb]:
+			pass.reportAt(d.pos, "unknown directive //mixnet:%s (known: allow, noalloc)", d.verb)
+		case d.verb == "allow" && d.args == "":
+			pass.reportAt(d.pos, "//mixnet:allow requires a reason: state why the suppressed diagnostic is safe")
+		case d.verb == "noalloc" && !attached[d.pos]:
+			pass.reportAt(d.pos, "//mixnet:noalloc must be part of a function declaration's doc comment; here it checks nothing")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// mixnet-lint analyzer suite that mechanically enforces the simulator's
+// determinism, zero-allocation and slot-indexing invariants (see README.md
+// "Static analysis").
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface the
+// suite needs (Analyzer, Pass, Diagnostic) but is built only on the standard
+// library: packages are parsed with go/parser and type-checked with go/types
+// against compiler export data obtained from `go list -export` (load.go), so
+// the suite runs in hermetic environments without any external module.
+//
+// Two comment directives drive the suite:
+//
+//	//mixnet:noalloc
+//	    on a function declaration: the function (and every same-package
+//	    function it statically calls) must not contain allocating
+//	    constructs in steady state. See noalloclint.go for the exact
+//	    semantics (growth-guarded and error-path allocations are exempt).
+//
+//	//mixnet:allow <reason>
+//	    on (or immediately above) an offending line: suppresses every
+//	    diagnostic reported for that line. The reason is mandatory;
+//	    allowlint flags suppressions without one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "detlint"
+	Doc  string // one-paragraph description
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	directives *directiveIndex
+	report     func(Diagnostic)
+}
+
+// Reportf reports a finding at pos unless the line (or the line above it)
+// carries a //mixnet:allow suppression.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), format, args...)
+}
+
+// reportAt is Reportf for an already-resolved position (allowlint's subjects
+// are comments, not AST nodes). allowlint diagnostics are never suppressed:
+// the suppression mechanism must not be able to hide its own misuse.
+func (p *Pass) reportAt(position token.Position, format string, args ...any) {
+	if p.Analyzer.Name != "allowlint" && p.directives.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //mixnet: comment.
+type directive struct {
+	pos  token.Position
+	verb string // "allow", "noalloc", ...
+	args string // rest of the line, trimmed
+}
+
+// directiveIndex holds every //mixnet: directive of a package, indexed for
+// line-level suppression lookups.
+type directiveIndex struct {
+	all []directive
+	// allow[file][line] = reason for a //mixnet:allow on that line.
+	allow map[string]map[int]string
+}
+
+var directiveRe = regexp.MustCompile(`^//mixnet:(\S+)(.*)$`)
+
+// parseDirectives collects every //mixnet: directive in the given files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{allow: map[string]map[int]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := directive{
+					pos:  fset.Position(c.Pos()),
+					verb: m[1],
+					args: strings.TrimSpace(m[2]),
+				}
+				idx.all = append(idx.all, d)
+				if d.verb == "allow" {
+					byLine := idx.allow[d.pos.Filename]
+					if byLine == nil {
+						byLine = map[int]string{}
+						idx.allow[d.pos.Filename] = byLine
+					}
+					byLine[d.pos.Line] = d.args
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a diagnostic at pos is covered by a
+// //mixnet:allow on the same line or the line immediately above. An allow
+// with an empty reason still suppresses — allowlint reports the missing
+// reason itself, so the build still fails, but with one actionable message.
+func (x *directiveIndex) suppressed(pos token.Position) bool {
+	byLine := x.allow[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	_, same := byLine[pos.Line]
+	_, above := byLine[pos.Line-1]
+	return same || above
+}
+
+// hasNoallocDirective reports whether a function declaration is annotated
+// //mixnet:noalloc (in its doc comment block).
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == "noalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := parseDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				directives: idx,
+				report:     func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// All returns the full mixnet-lint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{DetLint, NoAllocLint, SlotLint, EpochLint, AllowLint}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// inspect walks every file of the pass, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself).
+// Returning false prunes the subtree.
+func inspect(pass *Pass, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			keep := fn(n, stack)
+			if keep {
+				stack = append(stack, n)
+			}
+			return keep
+		})
+	}
+}
+
+// pkgBase returns the last element of a package path ("mixnet/internal/topo"
+// -> "topo"). analysistest golden packages have single-element paths, so
+// scoping by base name covers both the real tree and testdata.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The suite lints
+// non-test code only: tests legitimately use wall clocks, map ranges and
+// ad-hoc allocation.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// nodeText renders an expression for diagnostics.
+func nodeText(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,99 @@
+// Package analysistest runs an analyzer over a golden testdata package and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only framework.
+//
+// Expectations are comments in the testdata source:
+//
+//	g.Nodes[id] = n // want "indexes dense storage"
+//
+// The quoted string is a regular expression matched against diagnostics
+// reported on the comment's line. For diagnostics that land on a comment
+// line itself (mixnet-lint directives), `// want+N "re"` expects the
+// diagnostic N lines below the want comment. Several want comments may
+// share a line; every want must be matched by exactly one diagnostic and
+// every diagnostic must match a want.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"mixnet/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want(\+\d+)?\s+("(?:[^"\\]|\\.)*")`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdataRoot/src/<pkgPath> and checks the analyzer's diagnostics
+// against the package's // want comments.
+func Run(t *testing.T, testdataRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadTree(testdataRoot+"/src", pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					raw, err := strconv.Unquote(m[2])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, m[2], err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					line := pos.Line
+					if m[1] != "" {
+						n, err := strconv.Atoi(m[1][1:])
+						if err != nil {
+							t.Fatalf("%s: bad want offset %q: %v", pos, m[1], err)
+						}
+						line += n
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose pattern
+// matches message.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetLint enforces run-to-run determinism in simulation code:
+//
+//   - ranging over a map feeds non-deterministic iteration order into
+//     whatever the body computes. A range is accepted only when the body is
+//     order-insensitive by construction: it only collects keys/values into
+//     slices that are subsequently sorted in the same function, writes into
+//     other maps, deletes, or accumulates integers (commutative and exact —
+//     float accumulation is order-sensitive and stays flagged).
+//   - wall-clock reads (time.Now / time.Since) and the global math/rand
+//     generator make simulation results depend on host state. Both are
+//     flagged everywhere outside bench-harness code (package experiments
+//     and package main), where timing real work is the point.
+//
+// PR 5 fixed exactly this defect class by hand (map-order jitter in the
+// collective compiler randomised ECMP salt draws); detlint makes the fix
+// permanent.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "flags map iteration, wall-clock reads and global rand in deterministic simulation code",
+	Run:  runDetLint,
+}
+
+// harnessPkg reports whether a package is bench-harness code, where
+// wall-clock use is legitimate (measuring real elapsed time is the point).
+var harnessPkg = map[string]bool{"experiments": true}
+
+// globalRandConstructors are the math/rand package-level functions that
+// build seeded generators rather than drawing from the global one.
+var globalRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetLint(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	clockScope := !harnessPkg[pkgBase(pass.Pkg.Path())]
+	inspect(pass, func(n ast.Node, stack []ast.Node) bool {
+		if isTestFile(pass.Fset, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, stack)
+		case *ast.CallExpr:
+			if clockScope {
+				checkClockAndRand(pass, n)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// calleeFunc resolves a call's static callee, or nil (builtins, indirect
+// calls, method values).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkClockAndRand(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods on a seeded *rand.Rand are the
+	// sanctioned way to draw randomness.
+	if sig := fn.Type().(*types.Signature); sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			pass.Reportf(call.Pos(), "wall-clock read time.%s in simulation code: results must not depend on host time (move timing into the bench harness)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global rand.%s in simulation code: draw from a seeded *rand.Rand so runs are reproducible", fn.Name())
+		}
+	}
+}
+
+// checkMapRange validates one range statement over a map.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var collected []*ast.Ident // slices the body appends into
+	if !orderInsensitive(pass, rng.Body.List, &collected) {
+		pass.Reportf(rng.Pos(), "range over map %s: iteration order is non-deterministic; iterate sorted keys or a first-appearance order slice instead", nodeText(rng.X))
+		return
+	}
+	// Collected slices must be sorted before the function is done with them.
+	fn := enclosingFuncNode(stack)
+	for _, id := range collected {
+		if !sortedLater(pass, fn, id, rng.End()) {
+			pass.Reportf(rng.Pos(), "map keys/values collected into %s but never sorted: downstream iteration order is non-deterministic", id.Name)
+		}
+	}
+}
+
+// orderInsensitive reports whether every statement is order-insensitive:
+// collection appends (recorded in collected), map writes/deletes, integer
+// accumulation, or control flow wrapping only such statements.
+func orderInsensitive(pass *Pass, stmts []ast.Stmt, collected *[]*ast.Ident) bool {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.BranchStmt, *ast.EmptyStmt:
+			// continue/break
+		case *ast.IfStmt:
+			if st.Init != nil {
+				if as, ok := st.Init.(*ast.AssignStmt); !ok || !pureAssign(pass, as) {
+					return false
+				}
+			}
+			body := st.Body.List
+			if st.Else != nil {
+				eb, ok := st.Else.(*ast.BlockStmt)
+				if !ok {
+					return false
+				}
+				body = append(append([]ast.Stmt{}, body...), eb.List...)
+			}
+			if !orderInsensitive(pass, body, collected) {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !orderInsensitive(pass, st.List, collected) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !integerExpr(pass, st.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call, "delete") {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !collectionAssign(pass, st, collected) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pureAssign accepts the `if v, ok := m[k]; ok` initializer form.
+func pureAssign(pass *Pass, as *ast.AssignStmt) bool {
+	for _, rhs := range as.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.IndexExpr, *ast.Ident, *ast.SelectorExpr, *ast.BasicLit:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// collectionAssign accepts x = append(x, ...), m[k] = v, and integer
+// accumulation (n += 1, s |= bit).
+func collectionAssign(pass *Pass, as *ast.AssignStmt, collected *[]*ast.Ident) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	// Map write: order-insensitive as long as it is not also read-modify-write
+	// of a float (m[k] += x on ints is fine; on floats it is a commutative sum
+	// of two values per key at most — accept integer only, to stay exact).
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return as.Tok.String() == "=" || integerExpr(pass, ix)
+			}
+		}
+		return false
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if as.Tok.String() != "=" {
+		return integerExpr(pass, lhs) // n += 1 etc.
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+		return false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[base] != pass.TypesInfo.ObjectOf(id) {
+		return false
+	}
+	*collected = append(*collected, id)
+	return true
+}
+
+func integerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isb := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isb
+}
+
+// sortedLater reports whether id is passed to a sort/slices ordering
+// function after pos within fn.
+func sortedLater(pass *Pass, fn ast.Node, id *ast.Ident, after token.Pos) bool {
+	if fn == nil {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || n.Pos() < after {
+			return !sorted
+		}
+		fnObj := calleeFunc(pass, call)
+		if fnObj == nil || fnObj.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		if p := fnObj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == obj {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// enclosingFuncNode returns the innermost function declaration or literal
+// on the ancestor stack.
+func enclosingFuncNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

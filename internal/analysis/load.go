@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// goList runs `go list` with the given extra flags and patterns, decoding
+// the JSON package stream.
+func goList(dir string, flags []string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{"list", "-json"}, flags...)
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the lookup function the gc importer uses to resolve
+// import paths to compiler export data files.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// typeCheck parses and type-checks one package from source against the
+// given importer.
+func typeCheck(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// Load parses and type-checks the packages matching the go list patterns,
+// resolving imports through compiler export data from `go list -export`.
+// Test files are excluded: the suite lints shipped code.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, nil, patterns)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, []string{"-deps", "-export"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// stdExports caches `go list -export` results for packages resolved outside
+// a testdata source tree (the standard library, mainly).
+var stdExports struct {
+	sync.Mutex
+	files map[string]string
+}
+
+func stdExportFile(path string) (string, error) {
+	stdExports.Lock()
+	defer stdExports.Unlock()
+	if f, ok := stdExports.files[path]; ok {
+		return f, nil
+	}
+	pkgs, err := goList("", []string{"-deps", "-export"}, []string{path})
+	if err != nil {
+		return "", err
+	}
+	if stdExports.files == nil {
+		stdExports.files = map[string]string{}
+	}
+	var found string
+	for _, p := range pkgs {
+		if p.Export != "" {
+			stdExports.files[p.ImportPath] = p.Export
+		}
+		if p.ImportPath == path {
+			found = p.Export
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return found, nil
+}
+
+// treeImporter resolves imports for testdata source trees: an import path
+// matching a directory under root is type-checked from source (recursively,
+// with caching); anything else is loaded from compiler export data via
+// `go list -export`.
+type treeImporter struct {
+	root   string
+	fset   *token.FileSet
+	cache  map[string]*Package
+	gcImp  types.Importer
+	gcSeen map[string]bool
+}
+
+func newTreeImporter(root string, fset *token.FileSet) *treeImporter {
+	ti := &treeImporter{root: root, fset: fset, cache: map[string]*Package{}}
+	ti.gcImp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, err := stdExportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	return ti
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	pkg, err := ti.load(path)
+	if err == nil {
+		return pkg.Types, nil
+	}
+	if _, statErr := os.Stat(filepath.Join(ti.root, path)); statErr == nil {
+		return nil, err // a source dir exists but failed to load: surface it
+	}
+	return ti.gcImp.Import(path)
+}
+
+// load type-checks the package in root/path from source.
+func (ti *treeImporter) load(path string) (*Package, error) {
+	if pkg, ok := ti.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, err := typeCheck(ti.fset, path, dir, goFiles, ti)
+	if err != nil {
+		return nil, err
+	}
+	ti.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadTree loads one package (and, transitively, its intra-tree imports)
+// from a plain source tree rooted at root — the analysistest testdata
+// loader. pkgPath is the directory under root, doubling as the package's
+// import path.
+func LoadTree(root, pkgPath string) (*Package, error) {
+	return newTreeImporter(root, token.NewFileSet()).load(pkgPath)
+}
+
+// vetConfig mirrors the JSON configuration `go vet -vettool` passes to
+// analysis tools (cmd/go's internal vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// LoadVetConfig loads the package described by a go vet .cfg file. The
+// returned skip flag is true for units the suite does not analyze (test
+// binaries and packages listed VetxOnly). The caller must still write the
+// VetxOutput facts file (the suite is factless, so an empty file suffices).
+func LoadVetConfig(cfgPath string) (pkg *Package, vetxOutput string, skip bool, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, "", false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, "", false, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, ".test") || strings.Contains(cfg.ImportPath, " [") {
+		return nil, cfg.VetxOutput, true, nil
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, f)
+	}
+	if len(goFiles) == 0 {
+		return nil, cfg.VetxOutput, true, nil
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, err = typeCheck(fset, cfg.ImportPath, cfg.Dir, goFiles, imp)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return nil, cfg.VetxOutput, true, nil
+	}
+	return pkg, cfg.VetxOutput, false, err
+}

@@ -1,0 +1,514 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// NoAllocLint makes the //mixnet:noalloc contract checkable at review time.
+// An annotated function — and every same-package function it statically
+// calls, which is the call-chain coverage the runtime AllocsPerRun guards
+// cannot give — must not contain allocating constructs:
+//
+//   - make / new / map and slice composite literals / &T{}
+//   - append to a slice that is local and fresh (not rooted in a reused
+//     arena: a struct field, parameter, reslice, or call result)
+//   - func literals that escape (stored anywhere other than a local
+//     variable used only in call position, or passed to another call)
+//   - boxing a non-pointer-shaped value into an interface parameter
+//   - string concatenation and string<->[]byte conversions
+//   - calls into fmt, errors, strconv or strings
+//   - go statements
+//
+// Two structural exemptions keep the rule usable on real arena code:
+//
+//   - growth guard: an allocation inside an if whose condition tests
+//     len(...), cap(...) or nil is arena growth, which by design happens
+//     only when the topology grows — the steady state never re-enters it.
+//   - cold path: an allocation inside a return statement, a panic call,
+//     or a block that terminates by returning or panicking is error/exit
+//     handling, not steady state.
+//
+// Cross-package callees (other than the stdlib formatting packages above)
+// are trusted: the invariant is enforced package by package, with the
+// runtime AllocsPerRun tests as the end-to-end backstop.
+var NoAllocLint = &Analyzer{
+	Name: "noalloclint",
+	Doc:  "functions annotated //mixnet:noalloc (and their same-package callees) must not allocate in steady state",
+	Run:  runNoAllocLint,
+}
+
+// allocProneStdlib are stdlib packages whose exported calls allocate as a
+// matter of course.
+var allocProneStdlib = map[string]bool{
+	"fmt": true, "errors": true, "strconv": true, "strings": true,
+}
+
+func runNoAllocLint(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		if len(f.Decls) > 0 && isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			if hasNoallocDirective(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	// Propagate the requirement through same-package static calls, keeping
+	// BFS order so the traversal is deterministic.
+	rootOf := map[*types.Func]*types.Func{}
+	var order []*types.Func
+	for _, r := range roots {
+		if _, seen := rootOf[r]; seen {
+			continue
+		}
+		rootOf[r] = r
+		order = append(order, r)
+	}
+	for i := 0; i < len(order); i++ {
+		fn := order[i]
+		for _, callee := range samePkgCallees(pass, decls[fn]) {
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			if _, hasBody := decls[callee]; !hasBody {
+				continue
+			}
+			rootOf[callee] = rootOf[fn]
+			order = append(order, callee)
+		}
+	}
+
+	for _, fn := range order {
+		checkNoAlloc(pass, decls[fn], fn, rootOf[fn])
+	}
+	return nil
+}
+
+// samePkgCallees returns the distinct same-package functions fd statically
+// calls, in source order.
+func samePkgCallees(pass *Pass, fd *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn != nil && fn.Pkg() == pass.Pkg && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// checkNoAlloc walks one required function and reports every allocating
+// construct that is neither growth-guarded nor on a cold path.
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl, fn, root *types.Func) {
+	where := fmt.Sprintf("//mixnet:noalloc function %s", fn.Name())
+	if root != fn {
+		where = fmt.Sprintf("%s (reached from //mixnet:noalloc %s)", fn.Name(), root.Name())
+	}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCallAlloc(pass, n, stack, fd, where)
+		case *ast.CompositeLit:
+			checkCompositeAlloc(pass, n, stack, where)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isStringExpr(pass, n) && !coldPath(stack) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in %s", where)
+			}
+		case *ast.FuncLit:
+			checkFuncLitAlloc(pass, n, stack, fd, where)
+		case *ast.GoStmt:
+			if !coldPath(stack) {
+				pass.Reportf(n.Pos(), "go statement allocates a goroutine in %s", where)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkCallAlloc(pass *Pass, call *ast.CallExpr, stack []ast.Node, fd *ast.FuncDecl, where string) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isb := pass.TypesInfo.Uses[id].(*types.Builtin); isb {
+			switch id.Name {
+			case "make", "new":
+				if !growthGuarded(pass, stack) && !coldPath(stack) {
+					pass.Reportf(call.Pos(), "%s allocates in %s; guard it behind a len/cap/nil growth check or hoist it into setup", id.Name, where)
+				}
+			case "append":
+				checkAppendAlloc(pass, call, stack, fd, where)
+			}
+			return
+		}
+	}
+	// Type conversions: string <-> []byte allocate.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, pass.TypesInfo.Types[call.Args[0]].Type
+		if src != nil && isStringByteConv(dst, src) && !coldPath(stack) {
+			pass.Reportf(call.Pos(), "%s conversion allocates in %s", nodeText(call.Fun), where)
+		}
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg && allocProneStdlib[fn.Pkg().Path()] && !coldPath(stack) {
+		pass.Reportf(call.Pos(), "call to %s.%s allocates in %s", fn.Pkg().Name(), fn.Name(), where)
+		return
+	}
+	checkBoxing(pass, call, fn, stack, where)
+}
+
+// checkBoxing flags non-pointer-shaped arguments passed to interface
+// parameters: the conversion heap-allocates a box in steady state.
+func checkBoxing(pass *Pass, call *ast.CallExpr, fn *types.Func, stack []ast.Node, where string) {
+	if coldPath(stack) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || !boxAllocates(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s (%s) to interface parameter of %s boxes on the heap in %s", nodeText(arg), at, fn.Name(), where)
+	}
+}
+
+// boxAllocates reports whether converting a value of type t to an interface
+// heap-allocates: true for value-shaped types (basics, structs, arrays,
+// strings, slices), false for pointer-shaped ones and interfaces.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	default:
+		return true
+	}
+}
+
+// checkAppendAlloc flags append whose destination is a fresh local slice —
+// one declared in this function with no backing storage (var x []T or a
+// composite-literal initializer). Appends rooted in struct fields,
+// parameters, reslices or call results reuse arena storage and are the
+// sanctioned steady-state idiom.
+func checkAppendAlloc(pass *Pass, call *ast.CallExpr, stack []ast.Node, fd *ast.FuncDecl, where string) {
+	if len(call.Args) == 0 || coldPath(stack) || growthGuarded(pass, stack) {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // s.buf, *p, a[i]: rooted storage
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || obj.Parent() == pass.Pkg.Scope() {
+		return // package-level arena
+	}
+	if freshLocalSlice(pass, fd, obj) {
+		pass.Reportf(call.Pos(), "append to fresh local slice %s grows the heap every call in %s; root it in a reused arena or reslice a field", id.Name, where)
+	}
+}
+
+// freshLocalSlice reports whether obj is declared inside fd with no
+// pre-existing backing array.
+func freshLocalSlice(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	fresh := false
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ValueSpec: // var x []T  /  var x = <init>
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] != obj {
+					continue
+				}
+				found = true
+				if len(n.Values) == 0 {
+					fresh = true
+				} else if i < len(n.Values) {
+					fresh = freshInit(n.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[lid] != obj {
+					continue
+				}
+				found = true
+				if len(n.Rhs) == len(n.Lhs) {
+					fresh = freshInit(n.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return found && fresh
+}
+
+// freshInit reports whether an initializer denotes storage that does not
+// pre-exist this call (so appending to it must allocate).
+func freshInit(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true // x := []T{}: zero-capacity, first append allocates
+	case *ast.Ident:
+		return e.Name == "nil"
+	default:
+		// make (checked at its own site), reslices, fields, params, calls.
+		return false
+	}
+}
+
+// checkFuncLitAlloc flags func literals that escape. A literal assigned to
+// a local variable whose every use is in call position stays on the stack;
+// anything else (argument, return value, field store) forces a heap closure.
+func checkFuncLitAlloc(pass *Pass, lit *ast.FuncLit, stack []ast.Node, fd *ast.FuncDecl, where string) {
+	if len(stack) == 0 || coldPath(stack) {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(parent.Fun) == lit {
+			return // immediately invoked: no closure object
+		}
+		pass.Reportf(lit.Pos(), "func literal passed as call argument escapes to the heap in %s", where)
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(parent.Lhs) {
+				continue
+			}
+			id, ok := parent.Lhs[i].(*ast.Ident)
+			if ok && callOnlyVar(pass, fd, pass.TypesInfo.ObjectOf(id)) {
+				return // local helper invoked directly: stack-allocated
+			}
+			pass.Reportf(lit.Pos(), "func literal stored outside a call-only local escapes to the heap in %s", where)
+		}
+	default:
+		pass.Reportf(lit.Pos(), "escaping func literal allocates in %s", where)
+	}
+}
+
+// callOnlyVar reports whether every use of obj inside fd is as the function
+// being called.
+func callOnlyVar(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	ok := true
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, isID := n.(*ast.Ident); isID && pass.TypesInfo.Uses[id] == obj {
+			inCall := false
+			if len(stack) > 0 {
+				if call, isCall := stack[len(stack)-1].(*ast.CallExpr); isCall && ast.Unparen(call.Fun) == id {
+					inCall = true
+				}
+			}
+			if !inCall {
+				ok = false
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return ok
+}
+
+func checkCompositeAlloc(pass *Pass, lit *ast.CompositeLit, stack []ast.Node, where string) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	var kind string
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		kind = "map literal"
+	case *types.Slice:
+		if len(lit.Elts) == 0 {
+			return // []T{} is a nil-capacity header, no backing array
+		}
+		kind = "slice literal"
+	default:
+		// Struct/array literals live on the stack unless their address is
+		// taken; &T{...} is reported here too.
+		if len(stack) > 0 {
+			if u, isU := stack[len(stack)-1].(*ast.UnaryExpr); isU && u.Op.String() == "&" {
+				kind = "&" + nodeText(lit.Type) + "{...}"
+				break
+			}
+		}
+		return
+	}
+	if growthGuarded(pass, stack) || coldPath(stack) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "%s allocates in %s", kind, where)
+}
+
+// growthGuarded reports whether the node is inside an if whose condition
+// tests len(...), cap(...) or nil — the arena-growth idiom, which by design
+// runs only when the topology grows, never in steady state.
+func growthGuarded(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+					guarded = true
+				}
+			case *ast.Ident:
+				if n.Name == "nil" {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// coldPath reports whether the node sits on a path that terminates the
+// function: inside a return statement, a panic call, or a block whose last
+// statement returns or panics. Such paths run at most once per call (errors,
+// teardown) and are not steady-state allocations.
+func coldPath(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		case *ast.BlockStmt:
+			// The function's own body (or a closure's) ending in return is
+			// the normal exit, not a cold path.
+			if i > 0 {
+				switch stack[i-1].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					continue
+				}
+			}
+			if terminates(n.List) {
+				return true
+			}
+		case *ast.CaseClause:
+			if terminates(n.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether a conversion between dst and src crosses
+// the string/[]byte (or []rune) boundary, which copies.
+func isStringByteConv(dst, src types.Type) bool {
+	str := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	byteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune)
+	}
+	return (str(dst) && byteSlice(src)) || (byteSlice(dst) && str(src))
+}
+
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}

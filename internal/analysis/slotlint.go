@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SlotLint enforces the folded-graph slot-indexing discipline introduced in
+// PR 6:
+//
+//   - Rule 1: topo.Graph's dense arrays (Nodes, Links) are indexed by
+//     *storage slot*, not by ID. On a symmetry-folded graph the two differ
+//     (materialization order is not ID order), so g.Nodes[id] with a NodeID
+//     (or g.Links[id] with a LinkID) is a latent folded-build bug — exactly
+//     the class PR 6 fixed by hand. Use g.Node(id) / g.Link(id), or
+//     translate explicitly with g.NodeIndex / g.LinkIndex.
+//
+//   - Rule 2: ranging over the Links storage array and reading simulation
+//     fields (Up, Bps, Latency) must skip Detached links, whose sim fields
+//     are frozen at teardown for deferred comm-plan replay. A loop that
+//     never mentions Detached is folding ghost capacity into live state.
+var SlotLint = &Analyzer{
+	Name: "slotlint",
+	Doc:  "flags topo dense-array indexing by NodeID/LinkID and Link sim-field reads without a Detached check",
+	Run:  runSlotLint,
+}
+
+// simFields are the Link fields frozen on detached links.
+var simFields = map[string]bool{"Up": true, "Bps": true, "Latency": true}
+
+func runSlotLint(pass *Pass) error {
+	inspect(pass, func(n ast.Node, stack []ast.Node) bool {
+		if isTestFile(pass.Fset, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			checkSlotIndex(pass, n)
+		case *ast.RangeStmt:
+			checkDetachedScan(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// isTopoNamed reports whether t (after pointer indirection) is the named
+// type base.name from the topo package.
+func isTopoNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && pkgBase(obj.Pkg().Path()) == "topo"
+}
+
+// graphStorageSel matches a selector expression g.Nodes / g.Links on a
+// topo.Graph and returns the field name.
+func graphStorageSel(pass *Pass, e ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Nodes" && sel.Sel.Name != "Links") {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isTopoNamed(tv.Type, "Graph") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func checkSlotIndex(pass *Pass, ix *ast.IndexExpr) {
+	field, ok := graphStorageSel(pass, ix.X)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ix.Index]
+	if !ok {
+		return
+	}
+	var id, accessor, translate string
+	switch {
+	case isTopoNamed(tv.Type, "NodeID"):
+		id, accessor, translate = "NodeID", "Node", "NodeIndex"
+	case isTopoNamed(tv.Type, "LinkID"):
+		id, accessor, translate = "LinkID", "Link", "LinkIndex"
+	default:
+		return
+	}
+	pass.Reportf(ix.Pos(), "%s[%s] indexes dense storage by %s: slots differ from IDs on folded graphs; use .%s(id) or translate with .%s", field, nodeText(ix.Index), id, accessor, translate)
+}
+
+// checkDetachedScan flags `for ... := range g.Links` loops that read sim
+// fields of the element without ever consulting Detached.
+func checkDetachedScan(pass *Pass, rng *ast.RangeStmt) {
+	if field, ok := graphStorageSel(pass, rng.X); !ok || field != "Links" {
+		return
+	}
+	readsSim, checksDetached := false, false
+	var firstRead ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, tok := pass.TypesInfo.Types[sel.X]
+		if !tok || !isTopoNamed(tv.Type, "Link") {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Detached" || sel.Sel.Name == "detached":
+			// Field read or the detached() accessor method.
+			checksDetached = true
+		case simFields[sel.Sel.Name]:
+			if !readsSim {
+				firstRead = sel
+			}
+			readsSim = true
+		}
+		return true
+	})
+	if readsSim && !checksDetached {
+		pass.Reportf(firstRead.Pos(), "scan over Links storage reads simulation fields without a Detached check: detached circuits keep frozen Up/Bps/Latency for deferred comm-plan replay and must be skipped")
+	}
+}

@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mixnet/internal/analysis"
+	"mixnet/internal/analysis/analysistest"
+)
+
+func TestDetLint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetLint, "detpos")
+}
+
+func TestDetLintHarnessScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetLint, "experiments")
+}
+
+func TestNoAllocLint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoAllocLint, "noallocpos")
+}
+
+func TestSlotLint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SlotLint, "slotpos")
+}
+
+func TestEpochLint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EpochLint, "collective")
+}
+
+func TestEpochLintScope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EpochLint, "flowsim")
+}
+
+func TestAllowLint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AllowLint, "allowpos")
+}
+
+// TestRepoIsClean runs the whole suite over the repository — the same gate
+// as `go run ./cmd/mixnet-lint ./...` in CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short mode (invokes go list)")
+	}
+	pkgs, err := analysis.Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := analysis.ByName("detlint, slotlint")
+	if err != nil || len(as) != 2 || as[0].Name != "detlint" || as[1].Name != "slotlint" {
+		t.Fatalf("ByName: got %v, %v", as, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if all, _ := analysis.ByName(""); len(all) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	}
+}

@@ -1,0 +1,28 @@
+// Package allowpos exercises allowlint's directive hygiene rules.
+package allowpos
+
+// want+2 "requires a reason"
+
+//mixnet:allow
+var missingReason = 1
+
+// want+2 "unknown directive"
+
+//mixnet:frobnicate determinism
+var unknownVerb = 2
+
+// want+2 "must be part of a function declaration"
+
+//mixnet:noalloc
+var notAFunc = 3
+
+// ok carries a correctly attached noalloc: clean.
+//
+//mixnet:noalloc
+func ok() {}
+
+// suppressed carries an allow with a reason: clean.
+func suppressed() int {
+	//mixnet:allow the reason is stated, so allowlint stays quiet
+	return 4
+}

@@ -1,0 +1,44 @@
+// Package collective mirrors an epoch-keyed cache; the name places it in
+// epochlint's scope.
+package collective
+
+type graph struct {
+	epoch  uint64
+	growth uint64
+}
+
+func (g *graph) Epoch() uint64 { return g.epoch }
+
+func (g *graph) Growth() uint64 { return g.growth }
+
+type cache struct {
+	epoch   uint64
+	growth  uint64
+	entries map[uint64]int
+}
+
+// BadSync trusts the epoch alone: flagged — folded-graph growth moves
+// storage slots without bumping the epoch.
+func (c *cache) BadSync(g *graph) {
+	if c.epoch != g.Epoch() { // want "without consulting the growth counter"
+		clear(c.entries)
+		c.epoch = g.Epoch()
+	}
+}
+
+// GoodSync consults both counters: clean.
+func (c *cache) GoodSync(g *graph) {
+	if c.epoch != g.Epoch() || c.growth != g.Growth() {
+		clear(c.entries)
+		c.epoch, c.growth = g.Epoch(), g.Growth()
+	}
+}
+
+// AllowedSync documents why growth is covered elsewhere: clean.
+func (c *cache) AllowedSync(g *graph) {
+	//mixnet:allow entries persist IDs only, growth-only materialization cannot stale them
+	if c.epoch != g.Epoch() {
+		clear(c.entries)
+		c.epoch = g.Epoch()
+	}
+}

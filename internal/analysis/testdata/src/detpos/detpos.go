@@ -1,0 +1,82 @@
+// Package detpos exercises detlint: map iteration order, wall-clock reads
+// and the global rand generator in deterministic simulation code.
+package detpos
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumFloats feeds map order into float accumulation, which is
+// order-sensitive: flagged.
+func SumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want "iteration order is non-deterministic"
+		total += v
+	}
+	return total
+}
+
+// Keys collects map keys but never sorts them: flagged.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects and sorts: order-insensitive, clean.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count accumulates an integer under a pure membership test: commutative
+// and exact, clean.
+func Count(m map[string]bool, hits map[string]bool) int {
+	n := 0
+	for k := range m {
+		if hits[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// Invert writes into another map: order-insensitive, clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Stamp reads the wall clock in simulation code: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+// Draw uses the global generator: flagged.
+func Draw() int {
+	return rand.Intn(10) // want "global rand.Intn"
+}
+
+// SeededDraw goes through a seeded generator: clean.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// AllowedStamp is suppressed with a reason: clean for detlint (allowlint
+// checks the reason).
+func AllowedStamp() int64 {
+	//mixnet:allow calibration constant sampled once at startup, not in the simulated timeline
+	return time.Now().UnixNano()
+}

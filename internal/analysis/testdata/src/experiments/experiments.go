@@ -1,0 +1,23 @@
+// Package experiments mirrors the bench-harness package name: wall-clock
+// reads are legitimate here (timing real work is the point), but map
+// iteration order still matters for emitted output.
+package experiments
+
+import "time"
+
+// Elapsed times a function: clean in harness code.
+func Elapsed(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// Merge collects map values without sorting: still flagged — emitted
+// figures must be byte-stable.
+func Merge(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m { // want "never sorted"
+		out = append(out, vs...)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package flowsim mirrors an arena epoch stamp. The name places it outside
+// epochlint's scope: arena epochs are per-run generation counters, unrelated
+// to the graph's mutation epoch, and comparing them is the whole point of
+// the stamping idiom.
+package flowsim
+
+type arena struct {
+	epoch uint64
+	stamp []uint64
+}
+
+func (a *arena) valid(i int) bool {
+	return a.stamp[i] == a.epoch
+}

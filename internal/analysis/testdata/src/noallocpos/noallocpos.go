@@ -1,0 +1,104 @@
+// Package noallocpos exercises noalloclint: annotated functions, their
+// same-package call chains, and the growth-guard / cold-path exemptions.
+package noallocpos
+
+import "fmt"
+
+type arena struct {
+	buf []int
+	tmp []int
+}
+
+// grow allocates only behind a capacity check — the sanctioned arena-growth
+// idiom: clean.
+//
+//mixnet:noalloc
+func (a *arena) grow(n int) {
+	if cap(a.buf) < n {
+		a.buf = make([]int, 0, n)
+	}
+	a.buf = a.buf[:0]
+}
+
+// fill allocates unconditionally: flagged.
+//
+//mixnet:noalloc
+func (a *arena) fill(n int) {
+	a.tmp = make([]int, n) // want "make allocates"
+	for i := 0; i < n; i++ {
+		a.tmp[i] = i
+	}
+}
+
+// hot allocates only through a callee: the chain rule reports inside the
+// (unannotated) helper.
+//
+//mixnet:noalloc
+func (a *arena) hot(n int) {
+	a.helper(n)
+}
+
+func (a *arena) helper(n int) {
+	x := []int{}
+	for i := 0; i < n; i++ {
+		x = append(x, i) // want "fresh local slice"
+	}
+	a.buf = append(a.buf, x...)
+}
+
+// reuse appends into a reslice of the arena — rooted storage: clean.
+//
+//mixnet:noalloc
+func (a *arena) reuse(xs []int) {
+	t := a.tmp[:0]
+	for _, x := range xs {
+		t = append(t, x)
+	}
+	a.tmp = t
+}
+
+// validate allocates only on the error return — a cold path: clean.
+//
+//mixnet:noalloc
+func (a *arena) validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("noallocpos: negative size %d", n)
+	}
+	return nil
+}
+
+func sink(v any) { _ = v }
+
+// box passes a value type to an interface parameter: flagged.
+//
+//mixnet:noalloc
+func box(n int) {
+	sink(n) // want "boxes on the heap"
+}
+
+// localClosure stores a func literal in a call-only local — stack
+// allocated: clean.
+//
+//mixnet:noalloc
+func localClosure(xs []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// escapingClosure hands a func literal to another function: flagged.
+//
+//mixnet:noalloc
+func escapingClosure(each func(func(int))) {
+	each(func(v int) { _ = v }) // want "escapes to the heap"
+}
+
+// concat builds a string on the hot path: flagged.
+//
+//mixnet:noalloc
+func concat(a, b string, out *string) {
+	*out = a + b // want "string concatenation"
+}

@@ -1,0 +1,48 @@
+// Package slotpos exercises slotlint: ID-vs-slot indexing into the graph's
+// dense arrays and Detached checks on Links storage scans.
+package slotpos
+
+import "topo"
+
+// BadIndex indexes dense storage by raw IDs: flagged.
+func BadIndex(g *topo.Graph, id topo.NodeID, lid topo.LinkID) float64 {
+	r := g.Nodes[id].Region // want "indexes dense storage by NodeID"
+	_ = r
+	return g.Links[lid].Bps // want "indexes dense storage by LinkID"
+}
+
+// GoodIndex goes through the accessors or an explicit slot translation:
+// clean.
+func GoodIndex(g *topo.Graph, id topo.NodeID, lid topo.LinkID) float64 {
+	_ = g.Node(id).Region
+	li := g.LinkIndex(lid)
+	return g.Links[li].Bps
+}
+
+// BadScan reads sim fields of every stored link without skipping detached
+// circuits: flagged.
+func BadScan(g *topo.Graph) float64 {
+	ref := 0.0
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.Up && l.Bps > ref { // want "without a Detached check"
+			ref = l.Bps
+		}
+	}
+	return ref
+}
+
+// GoodScan skips detached links first: clean.
+func GoodScan(g *topo.Graph) float64 {
+	ref := 0.0
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.Detached {
+			continue
+		}
+		if l.Up && l.Bps > ref {
+			ref = l.Bps
+		}
+	}
+	return ref
+}

@@ -1,0 +1,34 @@
+// Package topo is a miniature mirror of the real graph types for slotlint
+// goldens: the analyzer matches the package base name and the type names,
+// so the testdata tree can type-check without importing the real module.
+package topo
+
+type NodeID int32
+
+type LinkID int32
+
+type Node struct {
+	ID     NodeID
+	Region int
+}
+
+type Link struct {
+	ID       LinkID
+	Bps      float64
+	Latency  float64
+	Up       bool
+	Detached bool
+}
+
+type Graph struct {
+	Nodes []Node
+	Links []Link
+}
+
+func (g *Graph) NodeIndex(id NodeID) int32 { return int32(id) }
+
+func (g *Graph) LinkIndex(id LinkID) int32 { return int32(id) }
+
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[g.NodeIndex(id)] }
+
+func (g *Graph) Link(id LinkID) *Link { return &g.Links[g.LinkIndex(id)] }

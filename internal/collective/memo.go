@@ -108,7 +108,10 @@ func newCompileMemo() *compileMemo {
 // sync drops every entry when the topology changed: recorded routes are
 // only valid within one graph epoch. (Folded-graph growth does not bump the
 // epoch and does not invalidate routes, so it keeps the cache.)
+//
+//mixnet:noalloc
 func (m *compileMemo) sync(epoch uint64) {
+	//mixnet:allow memo entries store link IDs and node IDs, never storage slots, so growth-only materialization cannot stale them
 	if m.epoch != epoch {
 		clear(m.entries)
 		m.epoch = epoch
@@ -116,6 +119,8 @@ func (m *compileMemo) sync(epoch uint64) {
 }
 
 // mix folds x into h with a splitmix64-style finaliser.
+//
+//mixnet:noalloc
 func mix(h, x uint64) uint64 {
 	h ^= x
 	h ^= h >> 30
@@ -128,6 +133,8 @@ func mix(h, x uint64) uint64 {
 
 // directShape hashes DirectAllToAll's inputs. Every cell value participates:
 // zero cells draw no salt, so the sparsity pattern shapes the record.
+//
+//mixnet:noalloc
 func directShape(gpus []topo.NodeID, demand *metrics.Matrix) uint64 {
 	h := mix(0x9e3779b97f4a7c15, uint64(len(gpus)))
 	for _, g := range gpus {
@@ -143,6 +150,8 @@ func directShape(gpus []topo.NodeID, demand *metrics.Matrix) uint64 {
 }
 
 // hierShape hashes HierarchicalAllReduce's inputs.
+//
+//mixnet:noalloc
 func hierShape(servers []int, gatewayGPU int, bytes float64) uint64 {
 	h := mix(0xd1b54a32d192ed03, uint64(len(servers)))
 	for _, s := range servers {

@@ -199,6 +199,8 @@ func (p *Plan) Steps() []Step { return p.steps }
 
 // Add appends a step and returns its ID. phases must be nil for zero-flow
 // steps (barriers, compute); deps are added with AddDep.
+//
+//mixnet:noalloc
 func (p *Plan) Add(kind Kind, layer int, phases netsim.Phases, delay float64) int {
 	id := len(p.steps)
 	if cap(p.steps) > id {
@@ -218,6 +220,8 @@ func (p *Plan) Add(kind Kind, layer int, phases netsim.Phases, delay float64) in
 // must be an already-added step — together these make a Plan acyclic by
 // construction (edges always point backward); Execute's cycle check is
 // defence in depth only.
+//
+//mixnet:noalloc
 func (p *Plan) AddDep(step, dep int) {
 	s := &p.steps[step]
 	if int(s.depOff)+int(s.depLen) != len(p.deps) {
@@ -231,6 +235,8 @@ func (p *Plan) AddDep(step, dep int) {
 }
 
 // Deps returns a step's dependency IDs (a view into the arena).
+//
+//mixnet:noalloc
 func (p *Plan) Deps(id int) []int32 {
 	s := &p.steps[id]
 	return p.deps[s.depOff : s.depOff+int32(s.depLen)]
@@ -255,6 +261,8 @@ func (p *Plan) Makespans(kind Kind) float64 {
 
 // recordWidth folds one submitted batch's width into the cumulative
 // frontier statistics.
+//
+//mixnet:noalloc
 func (p *Plan) recordWidth(w int) {
 	p.batches++
 	p.widthSum += uint64(w)
@@ -270,6 +278,8 @@ func (p *Plan) recordWidth(w int) {
 // already-added steps, ID order is a topological order and one forward pass
 // suffices. Call after Execute has filled Makespans; the scratch is reused,
 // so steady-state calls allocate nothing.
+//
+//mixnet:noalloc
 func (p *Plan) MakespanWindow(lo, hi int) float64 {
 	if lo < 0 {
 		lo = 0
@@ -308,6 +318,8 @@ func (p *Plan) MakespanWindow(lo, hi int) float64 {
 func (p *Plan) CriticalPath() float64 { return p.MakespanWindow(0, len(p.steps)) }
 
 // grow ensures the scheduling arenas cover n steps and the dependency count.
+//
+//mixnet:noalloc
 func (p *Plan) grow(n int) {
 	if cap(p.indeg) < n {
 		p.indeg = make([]int32, n)
@@ -329,6 +341,8 @@ func (p *Plan) grow(n int) {
 // arena views, same arena content. A match implies grow performed no
 // reallocation (the previous build already demanded the same capacities), so
 // succ/succOff still hold that build's output.
+//
+//mixnet:noalloc
 func (p *Plan) csrSame(n int) bool {
 	if !p.csrOK || n != len(p.prevMeta) || len(p.deps) != len(p.prevDeps) {
 		return false
@@ -344,6 +358,8 @@ func (p *Plan) csrSame(n int) bool {
 
 // snapshotCSR records the dependency structure and pristine indegrees after
 // a CSR build so the next Execute can skip the rebuild.
+//
+//mixnet:noalloc
 func (p *Plan) snapshotCSR(n int, indeg []int32) {
 	p.prevDeps = append(p.prevDeps[:0], p.deps...)
 	p.indeg0 = append(p.indeg0[:0], indeg...)

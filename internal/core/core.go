@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mixnet/internal/metrics"
 	"mixnet/internal/ocs"
@@ -61,12 +62,15 @@ func (m *TrafficMonitor) Demand(region int) *metrics.Matrix {
 	return d.Clone()
 }
 
-// Regions lists regions with recorded demand.
+// Regions lists regions with recorded demand, in ascending order:
+// ReconfigureAll applies circuit surgery region by region, and the graph's
+// link-ID allocation order must not depend on map iteration.
 func (m *TrafficMonitor) Regions() []int {
 	out := make([]int, 0, len(m.demands))
 	for r := range m.demands {
 		out = append(out, r)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -105,6 +105,8 @@ func (s *Simulator) Now() Time { return s.now }
 // Reset returns the clock to 0 and empties the event queue, retaining the
 // queue's backing array so a reused Simulator does not regrow it. Pending
 // events are cancelled.
+//
+//mixnet:noalloc
 func (s *Simulator) Reset() {
 	for i, e := range s.queue {
 		e.index = -1
@@ -158,6 +160,8 @@ func (s *Simulator) Cancel(e *Event) bool {
 
 // Step executes the next event, advancing the clock. It returns false when
 // the queue is empty.
+//
+//mixnet:noalloc
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
@@ -174,6 +178,8 @@ func (s *Simulator) Step() bool {
 }
 
 // Run executes events until the queue drains and returns the final time.
+//
+//mixnet:noalloc
 func (s *Simulator) Run() Time {
 	for s.Step() {
 	}
@@ -183,6 +189,8 @@ func (s *Simulator) Run() Time {
 // RunUntil executes events with timestamps <= deadline, then sets the clock
 // to deadline if it has not passed it. It returns true if the queue drained
 // before the deadline.
+//
+//mixnet:noalloc
 func (s *Simulator) RunUntil(deadline Time) bool {
 	for len(s.queue) > 0 && s.queue[0].at <= deadline {
 		s.Step()

@@ -121,6 +121,12 @@ func planEventBounds(e *trainsim.Engine) (perCall, pooled float64, err error) {
 // run shards in parallel.
 type MultiCoreReport struct {
 	Cores int `json:"cores"`
+	// GoMaxProcs and HostCores record the measurement environment, keeping
+	// the single_core marker verifiable: a regeneration on a multi-core
+	// host (the ROADMAP carryover) must show host_cores > 1 alongside a
+	// measured wall_clock_speedup.
+	GoMaxProcs int `json:"gomaxprocs"`
+	HostCores  int `json:"host_cores"`
 	// SingleCore marks hosts where GOMAXPROCS == 1: the structural bound
 	// still holds but no wall-clock speedup is measurable.
 	SingleCore bool    `json:"single_core,omitempty"`
@@ -174,7 +180,12 @@ func MultiCoreWallClock() *MultiCoreReport {
 	if err != nil {
 		return nil
 	}
-	rep := &MultiCoreReport{Cores: runtime.GOMAXPROCS(0), Steps: len(steps)}
+	rep := &MultiCoreReport{
+		Cores:      runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		HostCores:  runtime.NumCPU(),
+		Steps:      len(steps),
+	}
 	for _, ph := range steps {
 		for _, fs := range ph {
 			rep.Flows += len(fs)

@@ -63,14 +63,16 @@ type Sim struct {
 // actually crossed by active flows (the touched list) are ever visited.
 type linkArena struct {
 	epoch   uint32
-	stamp   []uint32      // stamp[l] == epoch => cap/count valid for slot l
-	cap     []float64     // remaining capacity, bytes/s
-	count   []int32       // unfrozen flows crossing the link
-	touched []topo.LinkID // link storage slots referenced by the active set
+	stamp   []uint32  // stamp[l] == epoch => cap/count valid for slot l
+	cap     []float64 // remaining capacity, bytes/s
+	count   []int32   // unfrozen flows crossing the link
+	touched []int32   // link storage slots referenced by the active set (not IDs)
 }
 
 // reset prepares the arena for a graph with nLinks links and starts a new
 // epoch. Allocation happens only when the graph outgrew the arena.
+//
+//mixnet:noalloc
 func (a *linkArena) reset(nLinks int) {
 	if len(a.stamp) < nLinks {
 		a.stamp = make([]uint32, nLinks)
@@ -212,6 +214,8 @@ func (s *Sim) Simulate(g *topo.Graph, flows []*Flow) (Result, error) {
 
 // release hands the (possibly regrown) buffers back to the Sim and drops
 // flow pointers so a pooled Sim does not pin the last caller's flow set.
+//
+//mixnet:noalloc
 func (s *Sim) release(pending, active []*Flow) {
 	clear(pending)
 	clear(active[:cap(active)])
@@ -222,6 +226,8 @@ func (s *Sim) release(pending, active []*Flow) {
 // computeMaxMin assigns max-min fair rates (bytes/s) to the active flows by
 // progressive filling over the dense link arena. It allocates only when the
 // graph outgrew the arena.
+//
+//mixnet:noalloc
 func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
 	a := &s.arena
 	a.reset(len(g.Links))
@@ -235,7 +241,7 @@ func (s *Sim) computeMaxMin(g *topo.Graph, active []*Flow) {
 				a.stamp[li] = epoch
 				a.cap[li] = g.Links[li].Bps / 8
 				a.count[li] = 0
-				a.touched = append(a.touched, topo.LinkID(li))
+				a.touched = append(a.touched, li)
 			}
 			a.count[li]++
 		}

@@ -44,9 +44,9 @@ type Analytic struct {
 	ecmp    bool
 	router  *topo.BFSRouter // distance fields for ECMP candidate sets
 	epoch   uint32
-	stamp   []uint32      // indexed by link storage slot (topo.Graph.LinkIndex)
-	load    []float64     // bytes routed over the link this phase, by slot
-	touched []topo.LinkID // storage slots charged this phase
+	stamp   []uint32  // indexed by link storage slot (topo.Graph.LinkIndex)
+	load    []float64 // bytes routed over the link this phase, by slot
+	touched []int32   // storage slots charged this phase (not link IDs)
 
 	// per-flow fractional-routing scratch (ECMP spreading): the byte
 	// fraction reaching each node of the shortest-path DAG, epoch-stamped so
@@ -90,6 +90,8 @@ func (a *Analytic) Name() string {
 
 // reset starts a new arena epoch sized for nLinks links, allocating only
 // when the graph outgrew the arena.
+//
+//mixnet:noalloc
 func (a *Analytic) reset(nLinks int) {
 	if len(a.stamp) < nLinks {
 		a.stamp = make([]uint32, nLinks)
@@ -104,11 +106,13 @@ func (a *Analytic) reset(nLinks int) {
 }
 
 // add charges bytes to a link storage slot in the current arena epoch.
+//
+//mixnet:noalloc
 func (a *Analytic) add(li int32, bytes float64) {
 	if a.stamp[li] != a.epoch {
 		a.stamp[li] = a.epoch
 		a.load[li] = 0
-		a.touched = append(a.touched, topo.LinkID(li))
+		a.touched = append(a.touched, li)
 	}
 	a.load[li] += bytes
 }
@@ -117,6 +121,8 @@ func (a *Analytic) add(li int32, bytes float64) {
 // path — the pre-ECMP behaviour, and the fallback when the sampled path is
 // not a shortest path (circuit detours, post-failure reroutes): the ECMP
 // hash had no equal-cost choice there.
+//
+//mixnet:noalloc
 func (a *Analytic) chargeSampled(g *topo.Graph, f *Flow) {
 	for _, lid := range f.Path {
 		a.add(g.LinkIndex(lid), f.Bytes)

@@ -81,6 +81,8 @@ func (c fixedCC) OnAck(*Flow, int64, bool, float64) float64 { return c.w }
 // Gating multiplicative decreases on window closure yields
 // DCTCP/DCQCN/Swift's at-most-once-per-RTT reaction instead of collapsing
 // the congestion window on every congested ack.
+//
+//mixnet:noalloc
 func advanceWindow(f *Flow) {
 	f.ccWndSeq = f.nextSeq
 	f.ccAcked, f.ccMarked = 0, 0
@@ -109,6 +111,7 @@ func (c dcqcnCC) Init(f *Flow) float64 {
 	return c.maxW
 }
 
+//mixnet:noalloc
 func (c dcqcnCC) OnAck(f *Flow, seq int64, ecnMarked bool, _ float64) float64 {
 	w := f.cwnd
 	f.ccAcked++
@@ -144,6 +147,7 @@ func (c swiftCC) Init(f *Flow) float64 {
 	return c.maxW
 }
 
+//mixnet:noalloc
 func (c swiftCC) OnAck(f *Flow, seq int64, _ bool, delay float64) float64 {
 	w := f.cwnd
 	target := f.baseDelay * c.target
@@ -164,6 +168,7 @@ func (c swiftCC) OnAck(f *Flow, seq int64, _ bool, delay float64) float64 {
 	return clampW(w, c.maxW)
 }
 
+//mixnet:noalloc
 func clampW(w, maxW float64) float64 {
 	if w < 1 {
 		return 1

@@ -165,6 +165,11 @@ func (s *sim) run(flows []*Flow) (Result, error) {
 		if ref <= 0 {
 			for i := range s.g.Links {
 				l := &s.g.Links[i]
+				if l.Detached {
+					// Frozen sim fields of torn-down circuits must not set
+					// the live fabric's ECN reference speed.
+					continue
+				}
 				if l.Up && l.Bps > 0 && (ref <= 0 || l.Bps < ref) {
 					ref = l.Bps
 				}

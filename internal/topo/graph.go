@@ -198,6 +198,8 @@ func (g *Graph) Grow(nodes, links int) {
 // carve reserves an n-capacity adjacency list from the shared arena,
 // starting a fresh arena chunk when the current one is exhausted (earlier
 // carvings keep their old backing).
+//
+//mixnet:noalloc
 func (g *Graph) carve(n int) []LinkID {
 	if n == 0 {
 		return nil

@@ -118,7 +118,7 @@ func assignRegions(c *Cluster, regionServers int) {
 		r := s / regionServers
 		c.Servers[s].Region = r
 		srv := &c.Servers[s]
-		stamp := func(id NodeID) { c.G.Nodes[id].Region = r }
+		stamp := func(id NodeID) { c.G.Node(id).Region = r }
 		stamp(srv.NVSwitch)
 		for _, id := range srv.GPUs {
 			stamp(id)
@@ -206,8 +206,8 @@ type CircuitTable map[[2]int][]CircuitPair
 func (c *Cluster) RegionCircuitTable(region int) CircuitTable {
 	t := make(CircuitTable)
 	for _, p := range c.RegionCircuits(region) {
-		sa := c.G.Nodes[p.A].Server
-		sb := c.G.Nodes[p.B].Server
+		sa := c.G.Node(p.A).Server
+		sb := c.G.Node(p.B).Server
 		key := [2]int{sa, sb}
 		if sa > sb {
 			key = [2]int{sb, sa}

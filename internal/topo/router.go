@@ -83,6 +83,7 @@ func (r *BFSRouter) Invalidate() {
 
 // sync invalidates the caches when the graph was mutated.
 func (r *BFSRouter) sync() {
+	//mixnet:allow growth is covered per entry: distEntry carries its own growth stamp and distField/routes re-derive slots when it is stale
 	if r.epoch != r.G.Epoch() {
 		r.Invalidate()
 		r.epoch = r.G.Epoch()
@@ -144,6 +145,8 @@ func (r *BFSRouter) computeDist(dst NodeID) *distEntry {
 
 // at returns n's distance to the entry's destination, -1 when unreachable
 // or not covered by the field.
+//
+//mixnet:noalloc
 func (e *distEntry) at(g *Graph, n NodeID) int32 {
 	i := g.NodeIndex(n)
 	if i < 0 || int(i) >= len(e.d) {
@@ -170,6 +173,8 @@ func (r *BFSRouter) DistanceField(dst NodeID) []int32 {
 }
 
 // hash64 mixes inputs with a splitmix64-style finaliser.
+//
+//mixnet:noalloc
 func hash64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -303,6 +308,8 @@ func (r *BFSRouter) replayIntraServer(src, dst NodeID, flowKey uint64) (Route, b
 }
 
 // PathLatency sums propagation latency along a route.
+//
+//mixnet:noalloc
 func PathLatency(g *Graph, rt Route) float64 {
 	var s float64
 	for _, id := range rt {
@@ -313,6 +320,8 @@ func PathLatency(g *Graph, rt Route) float64 {
 
 // PathMinBandwidth returns the bottleneck capacity along a route
 // (+Inf semantics: returns 0 for an empty route).
+//
+//mixnet:noalloc
 func PathMinBandwidth(g *Graph, rt Route) float64 {
 	if len(rt) == 0 {
 		return 0
@@ -327,6 +336,8 @@ func PathMinBandwidth(g *Graph, rt Route) float64 {
 }
 
 // FlowKey builds a stable ECMP key from a (src, dst, salt) triple.
+//
+//mixnet:noalloc
 func FlowKey(src, dst NodeID, salt uint64) uint64 {
 	return hash64(uint64(src)<<32 | uint64(uint32(dst))&0xffffffff ^ bits.RotateLeft64(salt, 17))
 }

@@ -125,7 +125,7 @@ func (c *Cluster) SetRegionCircuitsBps(region int, pairs []CircuitPair, bps floa
 	}
 	rc := c.ocs[region]
 	for _, id := range rc.linkIDs {
-		if !c.G.Links[id].detached() {
+		if !c.G.Link(id).detached() {
 			c.G.detachLink(id)
 		}
 	}

@@ -38,13 +38,13 @@ func (c *Cluster) IsolateTenants(tenants []Tenant) (int, error) {
 		kept := rc.pairs[:0]
 		var keptLinks []LinkID
 		for i, p := range rc.pairs {
-			ta, okA := owner[c.G.Nodes[p.A].Region]
-			tb, okB := owner[c.G.Nodes[p.B].Region]
+			ta, okA := owner[c.G.Node(p.A).Region]
+			tb, okB := owner[c.G.Node(p.B).Region]
 			cross := okA && okB && ta != tb
 			if cross {
 				// Tear down both directed links of the circuit.
 				for _, id := range rc.linkIDs[2*i : 2*i+2] {
-					if !c.G.Links[id].detached() {
+					if !c.G.Link(id).detached() {
 						c.G.detachLink(id)
 					}
 				}

@@ -140,9 +140,17 @@ func (c SimConfig) withDefaults() SimConfig {
 // scenario run of the same configuration execute on identical clusters.
 func Simulate(cfg SimConfig) (Result, error) {
 	cfg = cfg.withDefaults()
+	// Reverse-lookup the fabric's registry name over sorted keys so the
+	// choice is stable if two names ever alias one kind.
+	fabrics := scenario.Fabrics()
+	names := make([]string, 0, len(fabrics))
+	for name := range fabrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	fabricName := ""
-	for name, kind := range scenario.Fabrics() {
-		if kind == cfg.Fabric {
+	for _, name := range names {
+		if fabrics[name] == cfg.Fabric {
 			fabricName = name
 			break
 		}
