@@ -30,7 +30,10 @@ var DetLint = &Analyzer{
 
 // harnessPkg reports whether a package is bench-harness code, where
 // wall-clock use is legitimate (measuring real elapsed time is the point).
-var harnessPkg = map[string]bool{"experiments": true}
+// serve qualifies: query latency, timeouts and throughput windows are wall
+// time by definition; its simulation results still come from deterministic
+// engines underneath.
+var harnessPkg = map[string]bool{"experiments": true, "serve": true}
 
 // globalRandConstructors are the math/rand package-level functions that
 // build seeded generators rather than drawing from the global one.

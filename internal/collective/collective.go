@@ -33,8 +33,16 @@ type Ctx struct {
 	nextID  int
 	pairSeq map[pairKey]uint8 // per-(src,dst) rotating ECMP salt
 	backend netsim.Backend
-	memo    *compileMemo  // compiled-phase cache (memo.go); nil = disabled
-	rec     *pairRecorder // active salt-draw recording, if any
+	memo    *Memo // this context's private compiled-phase cache; nil = disabled
+	shared  *Memo // optional cross-context cache, pinned to one graph epoch
+
+	// keySeq counts compiles per memo key: the salt-ring variant slot the
+	// next compile of that key reads/records. Kept on the Ctx — not the
+	// Memo — so engines sharing one Memo walk the ring in lockstep with
+	// their own pairSeq rotation.
+	keySeq    map[memoKey]uint32
+	memoStats MemoStats     // this context's own hit/miss/bypass counters
+	rec       *pairRecorder // active salt-draw recording, if any
 }
 
 // pairKey identifies an ordered endpoint pair for ECMP salt rotation.
@@ -62,7 +70,7 @@ func NewCtxWithBackend(c *topo.Cluster, b netsim.Backend) *Ctx {
 	return &Ctx{
 		Cluster: c, Router: topo.NewBFSRouter(c.G),
 		pairSeq: make(map[pairKey]uint8), backend: b,
-		memo: newCompileMemo(),
+		memo: NewMemo(0),
 	}
 }
 
@@ -70,21 +78,64 @@ func NewCtxWithBackend(c *topo.Cluster, b netsim.Backend) *Ctx {
 func (ctx *Ctx) Backend() netsim.Backend { return ctx.backend }
 
 // SetMemo enables or disables memoized compilation (on by default).
-// Disabling drops the cache; results are byte-identical either way.
+// Disabling drops the private cache and detaches any shared one; results
+// are byte-identical either way.
 func (ctx *Ctx) SetMemo(on bool) {
 	if on && ctx.memo == nil {
-		ctx.memo = newCompileMemo()
+		ctx.memo = NewMemo(0)
 	} else if !on {
 		ctx.memo = nil
+		ctx.shared = nil
 	}
 }
 
-// MemoStats returns the compile-cache hit/miss/bypass counters.
-func (ctx *Ctx) MemoStats() MemoStats {
+// SetSharedMemo attaches a cross-context compile cache built with
+// NewSharedMemo. While the context's graph sits at the memo's pinned epoch
+// the shared cache is consulted first; once the graph diverges (circuit
+// reconfiguration, failure injection) compilations fall back to the
+// context's private memo, so local mutations never poison the shared
+// cache. Passing nil detaches. The caller must guarantee the shared memo
+// was recorded against a graph whose materialized node/link IDs match this
+// context's at the pinned epoch (identical builds of the same spec) and
+// must not attach it to lazily-folded graphs.
+func (ctx *Ctx) SetSharedMemo(m *Memo) { ctx.shared = m }
+
+// activeMemo picks the cache for the next compile: the shared memo when
+// attached and still valid for this graph, else the private one (synced to
+// the current epoch). Returns nil when memoization is disabled.
+func (ctx *Ctx) activeMemo() *Memo {
 	if ctx.memo == nil {
+		return nil
+	}
+	//mixnet:allow shared memos are epoch-pinned by construction; comparing against the live epoch is the validity gate itself, and folded growth is excluded by the SetSharedMemo contract
+	if ctx.shared != nil && ctx.Cluster.G.Epoch() == ctx.shared.epoch {
+		return ctx.shared
+	}
+	ctx.memo.sync(ctx.Cluster.G.Epoch())
+	return ctx.memo
+}
+
+// MemoStats returns this context's compile-cache hit/miss/bypass counters,
+// cumulative over its lifetime (spanning shared and private cache use).
+// Safe only from the goroutine running compilations; for cross-goroutine
+// reads use Memo.Stats on the shared memo.
+func (ctx *Ctx) MemoStats() MemoStats {
+	if ctx.memo == nil && ctx.shared == nil {
 		return MemoStats{}
 	}
-	return ctx.memo.stats
+	return ctx.memoStats
+}
+
+// ResetRunState rewinds the context's per-run compilation state — flow ID
+// counter, per-pair ECMP salt rotation and per-key variant-slot cursors —
+// to the freshly built position, so a reused engine replays a run
+// byte-identically to a fresh one. Cached routes, compiled plans and the
+// cumulative MemoStats counters survive: they are exactly the cross-run
+// reuse a warm engine exists for.
+func (ctx *Ctx) ResetRunState() {
+	ctx.nextID = 0
+	clear(ctx.pairSeq)
+	clear(ctx.keySeq)
 }
 
 // nextSalt returns the rotating ECMP salt for a pair and advances it.

@@ -2,6 +2,8 @@ package collective
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"mixnet/internal/metrics"
 	"mixnet/internal/netsim"
@@ -28,19 +30,97 @@ import (
 // (fresh compile, slot re-recorded) instead of replaying wrong paths. Salt
 // rotation means consecutive compiles of the same shape legitimately differ;
 // a ring of ecmpSpread variant slots per key captures one full rotation, so
-// steady-state iteration loops hit after the first cycle. The whole cache
-// keys on the graph epoch and clears on any topology mutation.
-type compileMemo struct {
+// steady-state iteration loops hit after the first cycle. Which slot a
+// compile lands in is the caller context's per-key compile count — per-Ctx
+// state, so two engines replaying the same workload walk the ring in
+// lockstep even when they share one Memo.
+//
+// A Memo is safe for concurrent use by multiple contexts (the long-running
+// query service shares one per engine shape) and bounded: at most cap
+// distinct keys are retained, evicted least-recently-used, so a service
+// answering an open-ended query mix cannot grow compiled-plan memory
+// without bound. Entries are immutable once stored; racing recorders of the
+// same (key, slot) store byte-identical entries (compilation is
+// deterministic), so last-write-wins is sound.
+type Memo struct {
+	mu      sync.Mutex
 	epoch   uint64
+	pinned  bool // shared memos pin their epoch; sync never clears them
+	cap     int
 	entries map[memoKey]*memoVariants
-	stats   MemoStats
+	// Intrusive LRU over the variant rings; front = most recently used.
+	front, back *memoVariants
+
+	hits, misses, bypasses atomic.Uint64
 }
+
+// DefaultMemoCap bounds a memo to this many distinct compilation keys
+// unless overridden with SetCap.
+const DefaultMemoCap = 512
 
 // MemoStats counts compile-cache outcomes.
 type MemoStats struct {
-	Hits     uint64 // replayed from cache
-	Misses   uint64 // no entry yet: compiled fresh and recorded
-	Bypasses uint64 // entry present but salt state diverged: recompiled
+	Hits     uint64 `json:"hits"`     // replayed from cache
+	Misses   uint64 `json:"misses"`   // no entry yet: compiled fresh and recorded
+	Bypasses uint64 `json:"bypasses"` // entry present but salt state diverged: recompiled
+}
+
+// NewMemo returns an empty bounded memo (cap <= 0 selects DefaultMemoCap)
+// that follows its user's graph epoch: any topology mutation clears it.
+func NewMemo(cap int) *Memo {
+	if cap <= 0 {
+		cap = DefaultMemoCap
+	}
+	return &Memo{cap: cap, entries: make(map[memoKey]*memoVariants)}
+}
+
+// NewSharedMemo returns a bounded memo pinned to one graph epoch, for
+// sharing across engines built from the same topology spec: identical
+// builds materialize identical node/link IDs at the same epoch, so a plan
+// recorded on one engine's graph replays exactly on another's. A context
+// whose graph has left the pinned epoch (circuit reconfiguration, failure
+// injection) bypasses the shared memo instead of clearing it, so one
+// query's mutations never poison the cache other queries are hitting. Do
+// not share across lazily-folded graphs: a recorded route may reference
+// links another engine has not materialized yet.
+func NewSharedMemo(cap int, epoch uint64) *Memo {
+	m := NewMemo(cap)
+	m.epoch = epoch
+	m.pinned = true
+	return m
+}
+
+// Stats returns the cumulative hit/miss/bypass counters. Safe to call
+// concurrently with compilations (the long-running service reads them from
+// monitoring goroutines).
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+		Bypasses: m.bypasses.Load(),
+	}
+}
+
+// SetCap rebounds the memo, evicting least-recently-used entries if the new
+// cap is smaller (n <= 0 selects DefaultMemoCap).
+func (m *Memo) SetCap(n int) {
+	if n <= 0 {
+		n = DefaultMemoCap
+	}
+	m.mu.Lock()
+	m.cap = n
+	for len(m.entries) > m.cap {
+		m.evictBack()
+	}
+	m.mu.Unlock()
+}
+
+// Len returns the number of distinct compilation keys currently cached.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	n := len(m.entries)
+	m.mu.Unlock()
+	return n
 }
 
 // memoKey identifies a compilation: collective kind plus a hash of every
@@ -56,10 +136,11 @@ const (
 )
 
 // memoVariants is the per-key ring of recorded compiles, one slot per salt
-// rotation position.
+// rotation position, threaded onto the memo's LRU list.
 type memoVariants struct {
-	count uint32
-	slots [ecmpSpread]*memoEntry
+	key        memoKey
+	prev, next *memoVariants
+	slots      [ecmpSpread]*memoEntry
 }
 
 // memoEntry is one recorded compile.
@@ -101,21 +182,111 @@ func (r *pairRecorder) note(k pairKey, start uint8) {
 	r.pairs = append(r.pairs, memoPair{k: k, start: start, count: 1})
 }
 
-func newCompileMemo() *compileMemo {
-	return &compileMemo{entries: make(map[memoKey]*memoVariants)}
-}
-
 // sync drops every entry when the topology changed: recorded routes are
 // only valid within one graph epoch. (Folded-graph growth does not bump the
-// epoch and does not invalidate routes, so it keeps the cache.)
+// epoch and does not invalidate routes, so it keeps the cache.) Pinned
+// (shared) memos are exempt: their users bypass them instead, see
+// Ctx.activeMemo.
 //
 //mixnet:noalloc
-func (m *compileMemo) sync(epoch uint64) {
+func (m *Memo) sync(epoch uint64) {
 	//mixnet:allow memo entries store link IDs and node IDs, never storage slots, so growth-only materialization cannot stale them
+	if m.pinned || m.epoch == epoch {
+		return
+	}
+	m.mu.Lock()
+	//mixnet:allow same growth argument as above: this re-check under the lock only decides whether to clear, never to reuse grown state
 	if m.epoch != epoch {
 		clear(m.entries)
+		m.front, m.back = nil, nil
 		m.epoch = epoch
 	}
+	m.mu.Unlock()
+}
+
+// lookup returns the recorded entry for (key, slot), or nil, touching the
+// key's LRU position.
+func (m *Memo) lookup(key memoKey, slot uint32) *memoEntry {
+	m.mu.Lock()
+	v := m.entries[key]
+	if v == nil {
+		m.mu.Unlock()
+		return nil
+	}
+	m.touch(v)
+	e := v.slots[slot]
+	m.mu.Unlock()
+	return e
+}
+
+// store records a compiled entry under (key, slot), inserting the key at
+// the LRU front and evicting over-cap keys from the back.
+func (m *Memo) store(key memoKey, slot uint32, e *memoEntry) {
+	m.mu.Lock()
+	v := m.entries[key]
+	if v == nil {
+		v = &memoVariants{key: key}
+		m.entries[key] = v
+		m.pushFront(v)
+		for m.cap > 0 && len(m.entries) > m.cap {
+			m.evictBack()
+		}
+	} else {
+		m.touch(v)
+	}
+	v.slots[slot] = e
+	m.mu.Unlock()
+}
+
+// touch moves v to the LRU front. Callers hold mu.
+//
+//mixnet:noalloc
+func (m *Memo) touch(v *memoVariants) {
+	if m.front == v {
+		return
+	}
+	m.unlink(v)
+	m.pushFront(v)
+}
+
+//mixnet:noalloc
+func (m *Memo) unlink(v *memoVariants) {
+	if v.prev != nil {
+		v.prev.next = v.next
+	} else if m.front == v {
+		m.front = v.next
+	}
+	if v.next != nil {
+		v.next.prev = v.prev
+	} else if m.back == v {
+		m.back = v.prev
+	}
+	v.prev, v.next = nil, nil
+}
+
+//mixnet:noalloc
+func (m *Memo) pushFront(v *memoVariants) {
+	v.next = m.front
+	v.prev = nil
+	if m.front != nil {
+		m.front.prev = v
+	}
+	m.front = v
+	if m.back == nil {
+		m.back = v
+	}
+}
+
+// evictBack drops the least-recently-used key. Callers hold mu.
+//
+//mixnet:noalloc
+func (m *Memo) evictBack() {
+	v := m.back
+	if v == nil {
+		return
+	}
+	m.unlink(v)
+	delete(m.entries, v.key)
 }
 
 // mix folds x into h with a splitmix64-style finaliser.
@@ -164,29 +335,31 @@ func hierShape(servers []int, gatewayGPU int, bytes float64) uint64 {
 
 // memoized wraps one compile in cache lookup/record. With memoization
 // disabled, or while already recording an outer compile (the outer record
-// captures the nested draws), it compiles directly.
+// captures the nested draws), it compiles directly. The variant-slot cursor
+// is per-context (ctx.keySeq), so engines sharing a Memo walk their salt
+// rings independently and in lockstep with their own pairSeq state.
 func memoized(ctx *Ctx, kind uint8, shape uint64, compile func() (Phases, error)) (Phases, error) {
-	m := ctx.memo
+	m := ctx.activeMemo()
 	if m == nil || ctx.rec != nil {
 		return compile()
 	}
-	m.sync(ctx.Cluster.G.Epoch())
 	key := memoKey{kind, shape}
-	v := m.entries[key]
-	if v == nil {
-		v = &memoVariants{}
-		m.entries[key] = v
+	if ctx.keySeq == nil {
+		ctx.keySeq = make(map[memoKey]uint32)
 	}
-	slot := v.count % ecmpSpread
-	v.count++
-	if e := v.slots[slot]; e != nil {
+	slot := ctx.keySeq[key] % ecmpSpread
+	ctx.keySeq[key]++
+	if e := m.lookup(key, slot); e != nil {
 		if ph, ok := e.replay(ctx); ok {
-			m.stats.Hits++
+			m.hits.Add(1)
+			ctx.memoStats.Hits++
 			return ph, nil
 		}
-		m.stats.Bypasses++
+		m.bypasses.Add(1)
+		ctx.memoStats.Bypasses++
 	} else {
-		m.stats.Misses++
+		m.misses.Add(1)
+		ctx.memoStats.Misses++
 	}
 	rec := &pairRecorder{idx: make(map[pairKey]int)}
 	baseID := ctx.nextID
@@ -194,10 +367,9 @@ func memoized(ctx *Ctx, kind uint8, shape uint64, compile func() (Phases, error)
 	ph, err := compile()
 	ctx.rec = nil
 	if err != nil {
-		v.slots[slot] = nil
 		return nil, err
 	}
-	v.slots[slot] = recordEntry(ph, rec, baseID)
+	m.store(key, slot, recordEntry(ph, rec, baseID))
 	return ph, nil
 }
 

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"sync"
 	"testing"
 
 	"mixnet/internal/metrics"
@@ -13,6 +14,16 @@ import (
 // compile order.
 func memoWorkload(t *testing.T, ctx *Ctx, rounds int) []Phases {
 	t.Helper()
+	out, err := memoWorkloadErr(ctx, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// memoWorkloadErr is the goroutine-safe form (no t.Fatal off the test
+// goroutine) for the concurrency suites.
+func memoWorkloadErr(ctx *Ctx, rounds int) ([]Phases, error) {
 	c := ctx.Cluster
 	leaders := []topo.NodeID{c.GPU(0, 0), c.GPU(1, 0), c.GPU(2, 0), c.GPU(3, 0)}
 	demand := metrics.NewMatrix(4, 4)
@@ -27,16 +38,16 @@ func memoWorkload(t *testing.T, ctx *Ctx, rounds int) []Phases {
 	for k := 0; k < rounds; k++ {
 		p, err := DirectAllToAll(ctx, leaders, demand)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		out = append(out, p)
 		p, err = HierarchicalAllReduce(ctx, []int{0, 1, 2, 3}, 0, 5e8)
 		if err != nil {
-			t.Fatal(err)
+			return nil, err
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // requirePhasesEqual compares two compiled workloads flow by flow.
@@ -107,6 +118,89 @@ func TestMemoizedCompilationDeterministic(t *testing.T) {
 		if ps := plainCtx.MemoStats(); ps.Hits != 0 || ps.Misses != 0 {
 			t.Errorf("fold=%v: memo disabled but counted %+v", fold, ps)
 		}
+	}
+}
+
+// TestMemoLRUBound: with a tiny capacity the memo must stay within its
+// bound under an alternating two-shape workload — evicting, not growing —
+// while the compiled output stays flow-for-flow identical to unmemoized.
+func TestMemoLRUBound(t *testing.T) {
+	t.Parallel()
+	ctx := fatTreeCtx(t, 8)
+	ctx.memo.SetCap(1) // one shape's variants at a time; the other evicts it
+	got := memoWorkload(t, ctx, ecmpSpread+8)
+
+	plain := fatTreeCtx(t, 8)
+	plain.SetMemo(false)
+	requirePhasesEqual(t, got, memoWorkload(t, plain, ecmpSpread+8))
+
+	if n := ctx.memo.Len(); n > 1 {
+		t.Errorf("memo holds %d shapes, cap is 1", n)
+	}
+	// The alternating workload thrashes a cap-1 cache: every compile after
+	// the first per shape is a fresh miss, never a hit.
+	if ms := ctx.MemoStats(); ms.Hits != 0 {
+		t.Errorf("cap-1 alternating workload served %d hits, want 0", ms.Hits)
+	}
+	// Raising the cap back stops the thrash: once the variant-slot cursor
+	// wraps the ring, stored slots get revisited and hit.
+	ctx.memo.SetCap(DefaultMemoCap)
+	before := ctx.MemoStats().Hits
+	memoWorkload(t, ctx, ecmpSpread+1)
+	if ctx.MemoStats().Hits == before {
+		t.Error("no hits after raising the cap")
+	}
+}
+
+// TestSharedMemoConcurrent: contexts over identical builds sharing one
+// pinned memo must each produce byte-identical output to an unmemoized
+// serial run, from concurrent goroutines (run under -race), and the
+// shared cache must serve cross-context hits.
+func TestSharedMemoConcurrent(t *testing.T) {
+	t.Parallel()
+	const goroutines = 4
+	const rounds = 6
+
+	ref := func() []Phases {
+		ctx := fatTreeCtx(t, 8)
+		ctx.SetMemo(false)
+		return memoWorkload(t, ctx, rounds)
+	}()
+
+	ctxs := make([]*Ctx, goroutines)
+	for i := range ctxs {
+		ctxs[i] = fatTreeCtx(t, 8)
+	}
+	epoch := ctxs[0].Cluster.G.Epoch()
+	for _, ctx := range ctxs[1:] {
+		if e := ctx.Cluster.G.Epoch(); e != epoch {
+			t.Fatalf("identical builds diverge in epoch: %d vs %d", e, epoch)
+		}
+	}
+	shared := NewSharedMemo(0, epoch)
+	for _, ctx := range ctxs {
+		ctx.SetSharedMemo(shared)
+	}
+
+	results := make([][]Phases, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := range ctxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = memoWorkloadErr(ctxs[i], rounds)
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		requirePhasesEqual(t, got, ref)
+	}
+	if st := shared.Stats(); st.Hits == 0 {
+		t.Errorf("no cross-context hits on the shared memo: %+v", st)
 	}
 }
 

@@ -115,6 +115,12 @@ func Names() []string {
 	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC, CopilotDrill}
 }
 
+// WithDefaults returns the configuration with the package defaults filled
+// in — the canonical form. Exported for callers that key caches on a
+// configuration (the query service's engine pool): two configs describing
+// the same run canonicalize to the same value.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Model == "" {
 		c.Model = moe.Mixtral8x7B.Name
@@ -365,6 +371,33 @@ func compose(injs ...Injector) Injector {
 		}
 		return unwind, nil
 	}
+}
+
+// DrillInjector returns the injector the named failure drill applies to
+// its faulty engine, or ok == false when name is not a drill. Callers that
+// drill reused engines (the query service) apply it to a prepared engine
+// and invoke the returned Restore afterwards; the semantics — which
+// NIC/GPU/server fails, composition order, reverse-order unwind — are
+// exactly the ones Run uses, so results are comparable byte for byte.
+// CopilotDrill uses the same GPU fault as FailGPU; its distinguishing
+// first-A2A policy is configuration, not injection (set FirstA2A to
+// "copilot" as run does).
+func DrillInjector(name string) (Injector, bool) {
+	switch name {
+	case FailNIC:
+		return injectNIC(0), true
+	case FailGPU:
+		return injectGPU, true
+	case FailServer:
+		return injectServer, true
+	case FailNICGPU:
+		return compose(injectNIC(0), injectGPU), true
+	case FailServerNIC:
+		return compose(injectServer, injectNIC(1)), true
+	case CopilotDrill:
+		return injectGPU, true
+	}
+	return nil, false
 }
 
 // run executes one scenario; base optionally supplies a memoized clean run

@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mixnet"
+	"mixnet/internal/collective"
+	"mixnet/internal/scenario"
+	"mixnet/internal/trainsim"
+)
+
+// QueryConfig is the wire form of a simulation configuration, mapping 1:1
+// onto scenario.Config (the construction path shared with mixnet.Simulate,
+// so a query and the equivalent batch CLI run execute on identical
+// engines). Omitted fields take the scenario defaults: Mixtral 8x7B on a
+// MixNet fabric at 400 Gbps over the fluid backend.
+type QueryConfig struct {
+	Model            string  `json:"model,omitempty"`
+	Fabric           string  `json:"fabric,omitempty"`
+	Backend          string  `json:"backend,omitempty"`
+	CC               string  `json:"cc,omitempty"`
+	Workers          int     `json:"workers,omitempty"`
+	Batch            bool    `json:"batch,omitempty"`
+	LinkGbps         float64 `json:"link_gbps,omitempty"`
+	DP               int     `json:"dp,omitempty"`
+	Iterations       int     `json:"iterations,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	FirstA2A         string  `json:"first_a2a,omitempty"`
+	ReconfigDelaySec float64 `json:"reconfig_delay_sec,omitempty"`
+	Fold             bool    `json:"fold,omitempty"`
+	Overlap          string  `json:"overlap,omitempty"`
+}
+
+func (q QueryConfig) scenarioConfig() scenario.Config {
+	return scenario.Config{
+		Model: q.Model, Fabric: q.Fabric, Backend: q.Backend, CC: q.CC,
+		Workers: q.Workers, Batch: q.Batch, LinkGbps: q.LinkGbps, DP: q.DP,
+		Iterations: q.Iterations, Seed: q.Seed, FirstA2A: q.FirstA2A,
+		ReconfigDelaySec: q.ReconfigDelaySec, Fold: q.Fold, Overlap: q.Overlap,
+	}
+}
+
+// failureQuery selects one named failure-drill scenario.
+type failureQuery struct {
+	QueryConfig
+	Scenario string `json:"scenario"`
+}
+
+// costQuery prices a fabric with the Table 4 cost model.
+type costQuery struct {
+	Fabric  string `json:"fabric"`
+	Servers int    `json:"servers"`
+	Gbps    int    `json:"gbps"`
+}
+
+// Meta carries per-query serving metadata alongside the result. Only the
+// result is deterministic; Meta is volatile (latency, cache warmth).
+type Meta struct {
+	Warm       bool                 `json:"warm"`        // engine came from the pool
+	EngineMemo collective.MemoStats `json:"engine_memo"` // engine's cumulative compile-cache counters
+	ElapsedSec float64              `json:"elapsed_sec"`
+}
+
+type envelope struct {
+	Result any  `json:"result"`
+	Meta   Meta `json:"meta"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// Pool supplies the engine pool; nil builds a default one.
+	Pool *Pool
+	// Workers bounds concurrently executing queries (default 8; excess
+	// requests queue on the semaphore until their context expires).
+	Workers int
+	// Timeout bounds one query's execution (default 60s); a timed-out
+	// request gets 504 while the worker finishes in the background and
+	// returns its engine to the pool.
+	Timeout time.Duration
+}
+
+// Server answers what-if queries over warm engines. Create with New,
+// expose via Handler, and Drain before process exit.
+type Server struct {
+	pool    *Pool
+	sem     chan struct{}
+	timeout time.Duration
+	wg      sync.WaitGroup
+	start   time.Time
+
+	queries, timeouts, errors atomic.Uint64
+
+	baseMu    sync.Mutex
+	baselines map[string]*baselineCell
+}
+
+// baselineCell memoizes one clean-run measurement (shape+seed+iterations)
+// shared by every failure drill against that configuration.
+type baselineCell struct {
+	once sync.Once
+	res  scenario.Result
+	err  error
+}
+
+// New creates a Server.
+func New(opts Options) *Server {
+	if opts.Pool == nil {
+		opts.Pool = NewPool(0, 0, 0)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 60 * time.Second
+	}
+	return &Server{
+		pool:      opts.Pool,
+		sem:       make(chan struct{}, opts.Workers),
+		timeout:   opts.Timeout,
+		start:     time.Now(),
+		baselines: make(map[string]*baselineCell),
+	}
+}
+
+// Pool returns the server's engine pool (selftest reads its counters).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/iter    — training-iteration query: QueryConfig body, mixnet.Result result
+//	POST /v1/cost    — fabric pricing: costQuery body, mixnet.CostBreakdown result
+//	POST /v1/failure — failure drill: failureQuery body, scenario.Result result
+//	GET  /v1/stats   — pool/memo/query counters
+//	GET  /healthz    — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/iter", func(w http.ResponseWriter, r *http.Request) {
+		var q QueryConfig
+		if !wantPost(w, r) || !decodeBody(w, r, &q) {
+			return
+		}
+		s.do(w, r, func() (any, Meta, error) { return s.runIter(q) })
+	})
+	mux.HandleFunc("/v1/failure", func(w http.ResponseWriter, r *http.Request) {
+		var q failureQuery
+		if !wantPost(w, r) || !decodeBody(w, r, &q) {
+			return
+		}
+		s.do(w, r, func() (any, Meta, error) { return s.runFailure(q) })
+	})
+	mux.HandleFunc("/v1/cost", func(w http.ResponseWriter, r *http.Request) {
+		var q costQuery
+		if !wantPost(w, r) || !decodeBody(w, r, &q) {
+			return
+		}
+		s.do(w, r, func() (any, Meta, error) { return s.runCost(q) })
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StatsSnapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Drain waits for in-flight query workers (including ones whose requester
+// already timed out) to finish and return their engines. Call after
+// http.Server.Shutdown for a graceful stop.
+func (s *Server) Drain() { s.wg.Wait() }
+
+// StatsCounters is the /v1/stats payload.
+type StatsCounters struct {
+	UptimeSec float64              `json:"uptime_sec"`
+	Queries   uint64               `json:"queries"`
+	Timeouts  uint64               `json:"timeouts"`
+	Errors    uint64               `json:"errors"`
+	Pool      PoolStats            `json:"pool"`
+	Memo      collective.MemoStats `json:"memo"`
+}
+
+// StatsSnapshot assembles the live service counters; all reads are
+// race-free (atomics or mutex-guarded snapshots).
+func (s *Server) StatsSnapshot() StatsCounters {
+	return StatsCounters{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Queries:   s.queries.Load(),
+		Timeouts:  s.timeouts.Load(),
+		Errors:    s.errors.Load(),
+		Pool:      s.pool.Stats(),
+		Memo:      s.pool.MemoStats(),
+	}
+}
+
+// do runs one query under the bounded worker pool with the per-query
+// timeout. The worker goroutine always runs to completion — a timed-out
+// query's engine still gets released — but its response is only written
+// while the request waits.
+func (s *Server) do(w http.ResponseWriter, r *http.Request, fn func() (any, Meta, error)) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		http.Error(w, "queue wait cancelled", http.StatusServiceUnavailable)
+		return
+	}
+	s.queries.Add(1)
+	type outcome struct {
+		v    any
+		meta Meta
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() { <-s.sem }()
+		t0 := time.Now()
+		v, meta, err := fn()
+		meta.ElapsedSec = time.Since(t0).Seconds()
+		ch <- outcome{v, meta, err}
+	}()
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			s.errors.Add(1)
+			http.Error(w, o.err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, envelope{Result: o.v, Meta: o.meta})
+	case <-timer.C:
+		s.timeouts.Add(1)
+		http.Error(w, "query timed out", http.StatusGatewayTimeout)
+	}
+}
+
+// runIter answers a training-iteration query. The result is exactly what
+// mixnet.Simulate returns for the equivalent SimConfig — same engine
+// construction, same stats derivation — so the JSON is byte-identical to
+// the batch run; only the engine may come warm from the pool.
+func (s *Server) runIter(q QueryConfig) (any, Meta, error) {
+	cfg := q.scenarioConfig().WithDefaults()
+	lease, err := s.pool.Acquire(cfg)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	meta := Meta{Warm: lease.Warm}
+	e := lease.Engine
+	stats, err := e.Run(cfg.Iterations)
+	meta.EngineMemo = e.MemoStats()
+	res := mixnet.Result{
+		MeanIterTime: trainsim.MeanIterTime(stats),
+		Stats:        stats,
+		GPUs:         e.Cluster.GPUCount(),
+		Servers:      len(e.Cluster.Servers),
+	}
+	lease.Release(err != nil)
+	if err != nil {
+		return nil, meta, err
+	}
+	return res, meta, nil
+}
+
+// runCost answers a fabric-pricing query (no engine involved).
+func (s *Server) runCost(q costQuery) (any, Meta, error) {
+	kind, ok := scenario.Fabrics()[q.Fabric]
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("serve: unknown fabric %q", q.Fabric)
+	}
+	bd, err := mixnet.NetworkCost(kind, q.Servers, q.Gbps)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	return bd, Meta{}, nil
+}
+
+// runFailure answers a failure-drill query: the named injector faults a
+// pooled engine, the drill runs, the injection unwinds, and the release
+// path verifies full restoration (or evicts). The clean baseline of the
+// same configuration is measured once and shared across drills, mirroring
+// scenario.RunMatrix's memoized baseline; the returned scenario.Result is
+// byte-identical to scenario.Run of the same drill.
+func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
+	inj, ok := scenario.DrillInjector(q.Scenario)
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("serve: %q is not a failure-drill scenario", q.Scenario)
+	}
+	cfg := q.scenarioConfig()
+	if q.Scenario == scenario.CopilotDrill {
+		// Both baseline and faulty run use proactive reconfiguration, so the
+		// overhead isolates the failure, not the first-A2A policy (the same
+		// substitution scenario.Run performs).
+		cfg.FirstA2A = "copilot"
+	}
+	cfg = cfg.WithDefaults()
+
+	clean, meta, err := s.baseline(cfg)
+	if err != nil {
+		return nil, meta, err
+	}
+	lease, err := s.pool.Acquire(cfg)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Warm = meta.Warm && lease.Warm
+	e := lease.Engine
+	restore, err := inj(e)
+	if err != nil {
+		lease.Evict() // partially applied injection: engine state unknown
+		return nil, meta, fmt.Errorf("serve: inject %s: %w", q.Scenario, err)
+	}
+	stats, runErr := e.Run(cfg.Iterations)
+	restore()
+	meta.EngineMemo = e.MemoStats()
+	lease.Release(runErr != nil)
+	if runErr != nil {
+		return nil, meta, fmt.Errorf("serve: drill %s: %w", q.Scenario, runErr)
+	}
+
+	res := clean
+	res.Scenario = q.Scenario
+	res.BaselineIterTime = clean.MeanIterTime
+	res.MeanIterTime = trainsim.MeanIterTime(stats)
+	if res.BaselineIterTime > 0 {
+		res.Overhead = res.MeanIterTime/res.BaselineIterTime - 1
+	}
+	return res, meta, nil
+}
+
+// baseline measures (or recalls) the clean run of one canonical
+// configuration. Concurrent drills against the same configuration share
+// one measurement; the engine comes from the same pool as every other
+// query. Warm in the returned Meta reflects the baseline's engine only
+// when the baseline was measured by this call.
+func (s *Server) baseline(cfg scenario.Config) (scenario.Result, Meta, error) {
+	key := fmt.Sprintf("%s|seed=%d|iters=%d", ShapeKey(cfg), cfg.Seed, cfg.Iterations)
+	s.baseMu.Lock()
+	cell := s.baselines[key]
+	if cell == nil {
+		cell = &baselineCell{}
+		s.baselines[key] = cell
+	}
+	s.baseMu.Unlock()
+	meta := Meta{Warm: true}
+	cell.once.Do(func() {
+		lease, err := s.pool.Acquire(cfg)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		meta.Warm = lease.Warm
+		e := lease.Engine
+		stats, err := e.Run(cfg.Iterations)
+		lease.Release(err != nil)
+		if err != nil {
+			cell.err = err
+			return
+		}
+		cell.res = scenario.Result{
+			Backend: backendName(cfg),
+			GPUs:    e.Cluster.GPUCount(), Servers: len(e.Cluster.Servers),
+			Iterations:   cfg.Iterations,
+			MeanIterTime: trainsim.MeanIterTime(stats),
+		}
+	})
+	return cell.res, meta, cell.err
+}
+
+func backendName(cfg scenario.Config) string {
+	if cfg.Backend == "" {
+		return "fluid"
+	}
+	return cfg.Backend
+}
+
+func wantPost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// decodeBody parses a JSON request body strictly (unknown fields are
+// errors, so config typos fail loudly instead of silently defaulting).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

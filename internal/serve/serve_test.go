@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mixnet/internal/scenario"
+	"mixnet/internal/trainsim"
+)
+
+func testClient(t *testing.T, srv *Server) (*client, func()) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	return &client{base: ts.URL, http: ts.Client()}, func() {
+		ts.Close()
+		srv.Drain()
+	}
+}
+
+// TestShapeKeyIgnoresPerQueryKnobs: seed, iterations and trace must not
+// split the engine pool; everything shape-affecting must.
+func TestShapeKeyIgnoresPerQueryKnobs(t *testing.T) {
+	t.Parallel()
+	base := scenario.Config{Fabric: "fat-tree", Seed: 1, Iterations: 2}
+	alt := base
+	alt.Seed, alt.Iterations = 99, 7
+	if ShapeKey(base) != ShapeKey(alt) {
+		t.Error("seed/iterations changed the shape key")
+	}
+	alt = base
+	alt.Fabric = "mixnet"
+	if ShapeKey(base) == ShapeKey(alt) {
+		t.Error("fabric change did not change the shape key")
+	}
+	alt = base
+	alt.Backend = "analytic"
+	if ShapeKey(base) == ShapeKey(alt) {
+		t.Error("backend change did not change the shape key")
+	}
+	// Defaults canonicalize: zero config and spelled-out defaults collide.
+	if ShapeKey(scenario.Config{}) != ShapeKey(scenario.Config{}.WithDefaults()) {
+		t.Error("defaulted and explicit configs key differently")
+	}
+}
+
+// query is one entry of the interleaved determinism mix.
+type query struct {
+	name string
+	path string
+	body any
+}
+
+func determinismMix(iters int) []query {
+	iterQ := func(fabric string, seed int64) query {
+		return query{
+			name: "iter-" + fabric + "-" + string(rune('0'+seed)),
+			path: "/v1/iter",
+			body: QueryConfig{Fabric: fabric, Iterations: iters, Seed: seed},
+		}
+	}
+	return []query{
+		iterQ("fat-tree", 1),
+		iterQ("fat-tree", 2),
+		{"fail-nic", "/v1/failure", failureQuery{
+			QueryConfig: QueryConfig{Fabric: "fat-tree", Iterations: iters, Seed: 1},
+			Scenario:    scenario.FailNIC,
+		}},
+		iterQ("mixnet", 1),
+		{"fail-gpu", "/v1/failure", failureQuery{
+			QueryConfig: QueryConfig{Fabric: "fat-tree", Iterations: iters, Seed: 2},
+			Scenario:    scenario.FailGPU,
+		}},
+		{"cost", "/v1/cost", costQuery{Fabric: "mixnet", Servers: 64, Gbps: 400}},
+		iterQ("fat-tree", 3),
+		{"fail-server", "/v1/failure", failureQuery{
+			QueryConfig: QueryConfig{Fabric: "mixnet", Iterations: iters, Seed: 1},
+			Scenario:    scenario.FailServer,
+		}},
+	}
+}
+
+// TestConcurrentQueryDeterminism: N goroutines fire an interleaved query
+// mix at the service — pool sizes 1, 2 and 8 — and every response must be
+// byte-identical to the serial single-engine answer, no matter which warm
+// engine served it or what ran before on that engine. Run under -race in
+// CI; the shared memo, pool and baseline cache are all exercised.
+func TestConcurrentQueryDeterminism(t *testing.T) {
+	const iters = 2
+	mix := determinismMix(iters)
+
+	// Serial reference: a fresh one-engine server answers each query once.
+	ref := make(map[string]json.RawMessage, len(mix))
+	{
+		srv := New(Options{Pool: NewPool(1, 0, 0), Workers: 1})
+		c, done := testClient(t, srv)
+		for _, q := range mix {
+			raw, _, err := c.post(q.path, q.body)
+			if err != nil {
+				t.Fatalf("serial %s: %v", q.name, err)
+			}
+			ref[q.name] = raw
+		}
+		done()
+	}
+
+	for _, poolSize := range []int{1, 2, 8} {
+		srv := New(Options{Pool: NewPool(poolSize, 0, 0), Workers: poolSize})
+		c, done := testClient(t, srv)
+		const rounds = 2
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(mix)*rounds)
+		for round := 0; round < rounds; round++ {
+			for i, q := range mix {
+				wg.Add(1)
+				go func(q query, offset int) {
+					defer wg.Done()
+					// Stagger starts so leases interleave differently per round.
+					time.Sleep(time.Duration(offset%4) * time.Millisecond)
+					raw, _, err := c.post(q.path, q.body)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !bytes.Equal(raw, ref[q.name]) {
+						errCh <- &mismatchError{q.name, poolSize}
+					}
+				}(q, i+round*len(mix))
+			}
+		}
+		wg.Wait()
+		done()
+		close(errCh)
+		for err := range errCh {
+			t.Errorf("pool=%d: %v", poolSize, err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+type mismatchError struct {
+	query string
+	pool  int
+}
+
+func (e *mismatchError) Error() string {
+	return "query " + e.query + " diverged from the serial reference"
+}
+
+// TestDrillRestoreThenReuse: an engine that served a failure drill must
+// come back byte-identical — the pool verifies route/table state (hash,
+// link counters) before reuse and the next clean query must match the
+// pre-drill answer exactly. This is the regression test for pooled-engine
+// reuse after failure injection.
+func TestDrillRestoreThenReuse(t *testing.T) {
+	t.Parallel()
+	pool := NewPool(1, 0, 0)
+	cfg := scenario.Config{Fabric: "fat-tree", Iterations: 2, Seed: 1}.WithDefaults()
+
+	runClean := func(want []trainsim.IterStats) []trainsim.IterStats {
+		lease, err := pool.Acquire(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := lease.Engine.Run(cfg.Iterations)
+		lease.Release(err != nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != nil {
+			a, _ := json.Marshal(stats)
+			b, _ := json.Marshal(want)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("clean run diverged after drill:\n got %s\nwant %s", a, b)
+			}
+		}
+		return stats
+	}
+
+	baseline := runClean(nil)
+
+	// Drill on the pooled engine: inject, run, restore, release. The NIC
+	// drill downs a real link, so release must prove the flag round-trip
+	// (StateHash + counters) and rewind the epoch — the verified-restore
+	// path, not a lucky no-op.
+	inj, ok := scenario.DrillInjector(scenario.FailNIC)
+	if !ok {
+		t.Fatal("fail-nic is not a drill")
+	}
+	lease, err := pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lease.Warm {
+		t.Fatal("second acquire should reuse the pooled engine")
+	}
+	restore, err := inj(lease.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lease.Engine.Run(cfg.Iterations); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	lease.Release(false)
+
+	st := pool.Stats()
+	if st.Evictions != 0 {
+		t.Fatalf("restored drill engine was evicted: %+v", st)
+	}
+	if st.Restores == 0 {
+		t.Fatalf("drill mutations did not take the verified-restore path: %+v", st)
+	}
+
+	// The same engine must now answer the clean query exactly as before.
+	runClean(baseline)
+
+	// Counter-case: an unrestored injection must be caught and evicted.
+	lease, err = pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj(lease.Engine); err != nil { // restore discarded on purpose
+		t.Fatal(err)
+	}
+	lease.Release(false)
+	if pool.Stats().Evictions == 0 {
+		t.Fatal("engine with unreversed failure state was pooled")
+	}
+	lease, err = pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Warm {
+		t.Fatal("acquired the poisoned engine")
+	}
+	lease.Evict()
+}
+
+// TestPoolMaxUsesRetires: engines retire after maxUses leases instead of
+// accreting state forever.
+func TestPoolMaxUsesRetires(t *testing.T) {
+	t.Parallel()
+	pool := NewPool(1, 2, 0)
+	cfg := scenario.Config{Fabric: "fat-tree", Iterations: 1, Seed: 1}.WithDefaults()
+	for i := 0; i < 2; i++ {
+		lease, err := pool.Acquire(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lease.Engine.Run(cfg.Iterations); err != nil {
+			t.Fatal(err)
+		}
+		lease.Release(false)
+	}
+	if st := pool.Stats(); st.Evictions != 1 || st.Idle != 0 {
+		t.Fatalf("second lease should retire the engine: %+v", st)
+	}
+}
+
+// TestServeHTTPErrors: malformed and invalid queries fail loudly with the
+// right status codes; the health and stats endpoints respond.
+func TestServeHTTPErrors(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{Pool: NewPool(1, 0, 0), Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Drain()
+	}()
+
+	get := func(path string) *http.Response {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	post := func(path, body string) *http.Response {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if r := get("/healthz"); r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", r.StatusCode)
+	}
+	if r := get("/v1/stats"); r.StatusCode != http.StatusOK {
+		t.Errorf("stats: %d", r.StatusCode)
+	}
+	if r := get("/v1/iter"); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET iter: %d, want 405", r.StatusCode)
+	}
+	if r := post("/v1/iter", `{"fabrik":"typo"}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", r.StatusCode)
+	}
+	if r := post("/v1/iter", `not json`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: %d, want 400", r.StatusCode)
+	}
+	if r := post("/v1/iter", `{"model":"no-such-model"}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown model: %d, want 400", r.StatusCode)
+	}
+	if r := post("/v1/failure", `{"scenario":"synthetic"}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-drill scenario: %d, want 400", r.StatusCode)
+	}
+	if r := post("/v1/cost", `{"fabric":"warp-drive","servers":8,"gbps":100}`); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown fabric: %d, want 400", r.StatusCode)
+	}
+}
+
+// TestQueryTimeout: a query exceeding the per-query budget returns 504
+// while the worker finishes in the background and Drain still completes.
+func TestQueryTimeout(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{Pool: NewPool(1, 0, 0), Workers: 1, Timeout: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(QueryConfig{Fabric: "fat-tree", Iterations: 2, Seed: 1})
+	resp, err := ts.Client().Post(ts.URL+"/v1/iter", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	srv.Drain() // must not hang on the backgrounded worker
+	if s := srv.StatsSnapshot(); s.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", s.Timeouts)
+	}
+}

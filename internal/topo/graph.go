@@ -10,6 +10,7 @@ package topo
 
 import (
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -131,6 +132,13 @@ type Graph struct {
 	blockCount int32
 	blockRep   int32
 	dirtySrv   map[int32]struct{}
+
+	// nDetached counts links torn down by reconfiguration (Detached flag).
+	// Together with NumLinks it witnesses adjacency stability: a graph whose
+	// link count and detach count both match a snapshot has had no adjacency
+	// surgery since (SetLinkUp flips flags only), so its adjacency — and
+	// therefore its ECMP candidate order — is bit-for-bit the snapshot's.
+	nDetached int
 }
 
 // NewGraph returns an empty graph.
@@ -388,9 +396,14 @@ func (g *Graph) detachLink(id LinkID) {
 	g.out[fi] = removeLinkID(g.out[fi], id)
 	g.in[ti] = removeLinkID(g.in[ti], id)
 	l.Detached = true
+	g.nDetached++
 	g.markDirty(l.From)
 	g.markDirty(l.To)
 }
+
+// DetachedLinks returns how many links reconfiguration has torn down over
+// the graph's lifetime (they stay allocated; IDs are never reused).
+func (g *Graph) DetachedLinks() int { return g.nDetached }
 
 func removeLinkID(s []LinkID, id LinkID) []LinkID {
 	for i, v := range s {
@@ -424,6 +437,50 @@ func (g *Graph) CountLinks() int {
 	}
 	return n
 }
+
+// StateHash fingerprints the graph's simulation-relevant state: node
+// counts plus, for every attached materialized link, its endpoints,
+// capacity, latency and up/circuit flags. Per-link hashes combine by
+// commutative sum, so neither storage order nor link IDs contribute — a
+// circuit torn down and reinstalled between the same endpoints (which
+// allocates fresh IDs) hashes identically to the original. Callers use it
+// to verify that a mutated graph has been restored to a snapshot's state:
+// equal hashes plus unchanged NumLinks and DetachedLinks counters witness
+// full restoration including adjacency order (see nDetached).
+//
+//mixnet:noalloc
+func (g *Graph) StateHash() uint64 {
+	h := hash64(uint64(g.NumNodes())<<32 ^ uint64(len(g.Nodes)))
+	var sum uint64
+	for i := range g.Links {
+		l := &g.Links[i]
+		if l.detached() {
+			continue
+		}
+		x := hash64(uint64(uint32(l.From))<<32 | uint64(uint32(l.To)))
+		x = hash64(x ^ math.Float64bits(l.Bps))
+		x = hash64(x ^ math.Float64bits(l.Latency))
+		var flags uint64
+		if l.Up {
+			flags |= 1
+		}
+		if l.Circuit {
+			flags |= 2
+		}
+		sum += hash64(x ^ flags)
+	}
+	return hash64(h ^ sum)
+}
+
+// RestoreEpoch rewinds the epoch counter to a previously observed value
+// after the caller has proven — StateHash equality against a snapshot
+// taken at that epoch, plus unchanged NumLinks/DetachedLinks — that every
+// intervening mutation has been exactly unwound. Epoch-keyed caches
+// (routes, compiled collectives, comm plans) recorded at that epoch become
+// valid again, which is the point: a pooled engine whose failure drill was
+// fully reversed gets its warm caches back instead of recomputing them.
+// Calling this without state equality poisons every epoch-keyed cache.
+func (g *Graph) RestoreEpoch(epoch uint64) { g.epoch = epoch }
 
 // beginFolded switches the graph to folded (slot-indirected) storage with a
 // logical ID space of nNodes/nLinks, all initially unmaterialized.

@@ -68,6 +68,65 @@ func TestEpochBumpsOnMutation(t *testing.T) {
 	}
 }
 
+// TestStateHashWitnessesFlagRoundTrip: the engine pool's release ladder
+// relies on StateHash (plus the link/detach counters) to prove a
+// mutated graph was restored exactly: a downed-and-restored link must
+// land back on the build hash, at which point RestoreEpoch may rewind.
+func TestStateHashWitnessesFlagRoundTrip(t *testing.T) {
+	g, _ := lineGraph(t, 6)
+	h0, e0 := g.StateHash(), g.Epoch()
+	l0, d0 := g.NumLinks(), g.DetachedLinks()
+
+	g.SetLinkUp(LinkID(2), false)
+	if g.StateHash() == h0 {
+		t.Fatal("downing a link did not change StateHash")
+	}
+	g.SetLinkUp(LinkID(2), true)
+	if g.StateHash() != h0 {
+		t.Fatal("restored graph hashes differently from the original")
+	}
+	if g.NumLinks() != l0 || g.DetachedLinks() != d0 {
+		t.Fatal("flag flips must not move the link/detach counters")
+	}
+	if g.Epoch() == e0 {
+		t.Fatal("mutations must bump the epoch even when state round-trips")
+	}
+	g.RestoreEpoch(e0)
+	if g.Epoch() != e0 {
+		t.Fatal("RestoreEpoch did not rewind")
+	}
+}
+
+// TestStateHashSeesAttributeChanges: equal shape with different link
+// attributes must hash differently (the hash covers Bps, latency, flags).
+func TestStateHashSeesAttributeChanges(t *testing.T) {
+	g1, _ := lineGraph(t, 4)
+	g2, _ := lineGraph(t, 4)
+	if g1.StateHash() != g2.StateHash() {
+		t.Fatal("identical builds hash differently")
+	}
+	g2.Links[1].Bps *= 2
+	if g1.StateHash() == g2.StateHash() {
+		t.Fatal("bandwidth change not visible in StateHash")
+	}
+}
+
+// TestDetachedLinksCounts: detaching circuits grows the detach counter
+// (adjacency changed), distinguishing reinstalls from pure flag flips.
+func TestDetachedLinksCounts(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(KindNIC, "", -1, -1, 0)
+	b := g.AddNode(KindNIC, "", -1, -1, 0)
+	g.AddCircuit(a, b, 1e9, 0)
+	if g.DetachedLinks() != 0 {
+		t.Fatal("fresh graph has detached links")
+	}
+	g.RemoveCircuits(0)
+	if g.DetachedLinks() != 2 {
+		t.Fatalf("DetachedLinks = %d after removing one duplex circuit, want 2", g.DetachedLinks())
+	}
+}
+
 func TestRemoveCircuits(t *testing.T) {
 	g := NewGraph()
 	a := g.AddNode(KindNIC, "", -1, -1, 0)

@@ -114,6 +114,7 @@ func BuildMixNetCPO(su ScaleUpSpec) *Cluster {
 			panic(fmt.Sprintf("topo: BuildMixNetCPO: %v", err))
 		}
 	}
+	c.sealBuildCircuits()
 	return c
 }
 
@@ -131,6 +132,7 @@ func (c *Cluster) SetRegionCircuitsBps(region int, pairs []CircuitPair, bps floa
 	}
 	rc.linkIDs = rc.linkIDs[:0]
 	rc.pairs = append(rc.pairs[:0], pairs...)
+	rc.bps = bps
 	for _, p := range pairs {
 		ab, ba := c.G.AddCircuit(p.A, p.B, bps, c.Spec.LinkLatency)
 		rc.linkIDs = append(rc.linkIDs, ab, ba)
