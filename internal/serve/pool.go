@@ -189,8 +189,13 @@ func (p *Pool) attachSharedMemo(entry *shapeEntry, pe *pooledEngine) {
 //  4. Epoch moved but StateHash, link count and detach count all match
 //     the build snapshot — every mutation was a verified flag-flip
 //     round trip (failure drills' SetLinkUp down/up), adjacency
-//     untouched: rewind the epoch (topo.Graph.RestoreEpoch) so the warm
-//     epoch-keyed caches become valid again, then pool.
+//     untouched: rewind the epoch (topo.Graph.RestoreEpoch) so the shared
+//     build-epoch compile memo becomes valid again, and resync the
+//     engine's own epoch-stamped caches (Engine.ResyncCaches) — their
+//     drill-time stamps are now *ahead* of the graph, and a later drill
+//     with the same number of epoch bumps would land back on exactly
+//     those values, reviving routes recorded under the earlier drill's
+//     downed links. Then pool.
 //  5. StateHash matches but the graph grew (reconfigurable fabrics:
 //     reinstalled circuits allocate fresh link IDs) — pool warm without
 //     the epoch rewind; route/compile caches rebuild lazily, topology
@@ -219,6 +224,11 @@ func (l *Lease) Release(damaged bool) {
 		}
 		if g.NumLinks() == pe.buildLinks && g.DetachedLinks() == pe.buildDetached {
 			g.RestoreEpoch(pe.buildEpoch)
+			// The rewind leaves any drill-time cache stamp ahead of the
+			// graph epoch; drop those caches now, while the regression is
+			// still observable — lazy epoch-equality checks cannot tell the
+			// restored epoch from a later mutation landing on the same value.
+			pe.e.ResyncCaches()
 			p.restores.Add(1)
 		}
 	}

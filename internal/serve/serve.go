@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -97,14 +98,23 @@ type Server struct {
 
 	baseMu    sync.Mutex
 	baselines map[string]*baselineCell
+	baseOrder []string // LRU order, oldest first; len == len(baselines)
 }
 
+// baselineCap bounds the baseline cache: distinct (shape, seed,
+// iterations) clean-run measurements kept for failure drills. Like the
+// pool's idle bound and the memo's entry cap, it keeps a long-running
+// service with an open-ended query mix from growing without bound.
+const baselineCap = 128
+
 // baselineCell memoizes one clean-run measurement (shape+seed+iterations)
-// shared by every failure drill against that configuration.
+// shared by every failure drill against that configuration. Only
+// successful measurements latch; a failed one is dropped from the cache so
+// the next drill retries instead of replaying the error forever.
 type baselineCell struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	res  scenario.Result
-	err  error
 }
 
 // New creates a Server.
@@ -198,10 +208,28 @@ func (s *Server) StatsSnapshot() StatsCounters {
 	}
 }
 
+// clientErr marks an error as the requester's fault — a malformed or
+// invalid query — so do() reports 400 instead of 500.
+type clientErr struct{ err error }
+
+func (e clientErr) Error() string { return e.err.Error() }
+func (e clientErr) Unwrap() error { return e.err }
+
+// badQuery wraps a validation failure (unknown model/fabric/scenario,
+// engine construction rejecting the configuration) as a client error.
+func badQuery(err error) error {
+	if err == nil {
+		return nil
+	}
+	return clientErr{err}
+}
+
 // do runs one query under the bounded worker pool with the per-query
 // timeout. The worker goroutine always runs to completion — a timed-out
-// query's engine still gets released — but its response is only written
-// while the request waits.
+// or abandoned query's engine still gets released — but its response is
+// only written while the request waits: timeout gets 504, a client that
+// disconnected gets nothing (the handler returns instead of pinning the
+// connection for the rest of the query budget).
 func (s *Server) do(w http.ResponseWriter, r *http.Request, fn func() (any, Meta, error)) {
 	select {
 	case s.sem <- struct{}{}:
@@ -231,13 +259,21 @@ func (s *Server) do(w http.ResponseWriter, r *http.Request, fn func() (any, Meta
 	case o := <-ch:
 		if o.err != nil {
 			s.errors.Add(1)
-			http.Error(w, o.err.Error(), http.StatusBadRequest)
+			status := http.StatusInternalServerError
+			var ce clientErr
+			if errors.As(o.err, &ce) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, o.err.Error(), status)
 			return
 		}
 		writeJSON(w, http.StatusOK, envelope{Result: o.v, Meta: o.meta})
 	case <-timer.C:
 		s.timeouts.Add(1)
 		http.Error(w, "query timed out", http.StatusGatewayTimeout)
+	case <-r.Context().Done():
+		// Client gone; nothing to write. The worker finishes in the
+		// background and returns its engine to the pool.
 	}
 }
 
@@ -249,7 +285,9 @@ func (s *Server) runIter(q QueryConfig) (any, Meta, error) {
 	cfg := q.scenarioConfig().WithDefaults()
 	lease, err := s.pool.Acquire(cfg)
 	if err != nil {
-		return nil, Meta{}, err
+		// Engine construction only fails on configuration the query chose
+		// (unknown model/fabric/backend, invalid knob combination).
+		return nil, Meta{}, badQuery(err)
 	}
 	meta := Meta{Warm: lease.Warm}
 	e := lease.Engine
@@ -272,11 +310,11 @@ func (s *Server) runIter(q QueryConfig) (any, Meta, error) {
 func (s *Server) runCost(q costQuery) (any, Meta, error) {
 	kind, ok := scenario.Fabrics()[q.Fabric]
 	if !ok {
-		return nil, Meta{}, fmt.Errorf("serve: unknown fabric %q", q.Fabric)
+		return nil, Meta{}, badQuery(fmt.Errorf("serve: unknown fabric %q", q.Fabric))
 	}
 	bd, err := mixnet.NetworkCost(kind, q.Servers, q.Gbps)
 	if err != nil {
-		return nil, Meta{}, err
+		return nil, Meta{}, badQuery(err) // rejects the query's server/Gbps sizing
 	}
 	return bd, Meta{}, nil
 }
@@ -290,7 +328,7 @@ func (s *Server) runCost(q costQuery) (any, Meta, error) {
 func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
 	inj, ok := scenario.DrillInjector(q.Scenario)
 	if !ok {
-		return nil, Meta{}, fmt.Errorf("serve: %q is not a failure-drill scenario", q.Scenario)
+		return nil, Meta{}, badQuery(fmt.Errorf("serve: %q is not a failure-drill scenario", q.Scenario))
 	}
 	cfg := q.scenarioConfig()
 	if q.Scenario == scenario.CopilotDrill {
@@ -307,7 +345,7 @@ func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
 	}
 	lease, err := s.pool.Acquire(cfg)
 	if err != nil {
-		return nil, meta, err
+		return nil, meta, badQuery(err)
 	}
 	meta.Warm = meta.Warm && lease.Warm
 	e := lease.Engine
@@ -338,7 +376,9 @@ func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
 // configuration. Concurrent drills against the same configuration share
 // one measurement; the engine comes from the same pool as every other
 // query. Warm in the returned Meta reflects the baseline's engine only
-// when the baseline was measured by this call.
+// when the baseline was measured by this call. The cache is a small LRU
+// (baselineCap entries) and never memoizes failures: an errored
+// measurement is forgotten so the next drill retries it.
 func (s *Server) baseline(cfg scenario.Config) (scenario.Result, Meta, error) {
 	key := fmt.Sprintf("%s|seed=%d|iters=%d", ShapeKey(cfg), cfg.Seed, cfg.Iterations)
 	s.baseMu.Lock()
@@ -347,30 +387,71 @@ func (s *Server) baseline(cfg scenario.Config) (scenario.Result, Meta, error) {
 		cell = &baselineCell{}
 		s.baselines[key] = cell
 	}
+	s.touchBaselineLocked(key)
 	s.baseMu.Unlock()
-	meta := Meta{Warm: true}
-	cell.once.Do(func() {
-		lease, err := s.pool.Acquire(cfg)
-		if err != nil {
-			cell.err = err
-			return
+
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+	if cell.done {
+		return cell.res, Meta{Warm: true}, nil
+	}
+	lease, err := s.pool.Acquire(cfg)
+	if err != nil {
+		s.dropBaseline(key, cell)
+		return scenario.Result{}, Meta{}, badQuery(err)
+	}
+	meta := Meta{Warm: lease.Warm}
+	e := lease.Engine
+	stats, err := e.Run(cfg.Iterations)
+	lease.Release(err != nil)
+	if err != nil {
+		s.dropBaseline(key, cell)
+		return scenario.Result{}, meta, err
+	}
+	cell.res = scenario.Result{
+		Backend: backendName(cfg),
+		GPUs:    e.Cluster.GPUCount(), Servers: len(e.Cluster.Servers),
+		Iterations:   cfg.Iterations,
+		MeanIterTime: trainsim.MeanIterTime(stats),
+	}
+	cell.done = true
+	return cell.res, meta, nil
+}
+
+// touchBaselineLocked moves key to the LRU front and evicts over-cap
+// entries; s.baseMu must be held. Eviction only unlinks a cell from the
+// cache — an in-flight measurement on an evicted cell still completes for
+// the drills already holding it.
+func (s *Server) touchBaselineLocked(key string) {
+	for i, k := range s.baseOrder {
+		if k == key {
+			s.baseOrder = append(s.baseOrder[:i], s.baseOrder[i+1:]...)
+			break
 		}
-		meta.Warm = lease.Warm
-		e := lease.Engine
-		stats, err := e.Run(cfg.Iterations)
-		lease.Release(err != nil)
-		if err != nil {
-			cell.err = err
-			return
+	}
+	s.baseOrder = append(s.baseOrder, key)
+	for len(s.baseOrder) > baselineCap {
+		old := s.baseOrder[0]
+		s.baseOrder = s.baseOrder[1:]
+		delete(s.baselines, old)
+	}
+}
+
+// dropBaseline forgets a failed measurement so later drills retry it.
+// The cell identity check keeps a concurrent re-measurement's fresh cell
+// (or an LRU replacement) intact.
+func (s *Server) dropBaseline(key string, cell *baselineCell) {
+	s.baseMu.Lock()
+	if s.baselines[key] == cell {
+		delete(s.baselines, key)
+		for i, k := range s.baseOrder {
+			if k == key {
+				s.baseOrder = append(s.baseOrder[:i], s.baseOrder[i+1:]...)
+				break
+			}
 		}
-		cell.res = scenario.Result{
-			Backend: backendName(cfg),
-			GPUs:    e.Cluster.GPUCount(), Servers: len(e.Cluster.Servers),
-			Iterations:   cfg.Iterations,
-			MeanIterTime: trainsim.MeanIterTime(stats),
-		}
-	})
-	return cell.res, meta, cell.err
+	}
+	s.baseMu.Unlock()
 }
 
 func backendName(cfg scenario.Config) string {
@@ -388,9 +469,16 @@ func wantPost(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// maxBodyBytes bounds a request body. The query types are a few hundred
+// bytes of JSON; the limit keeps an unauthenticated POST from making a
+// long-running service buffer arbitrarily large bodies.
+const maxBodyBytes = 64 << 10
+
 // decodeBody parses a JSON request body strictly (unknown fields are
-// errors, so config typos fail loudly instead of silently defaulting).
+// errors, so config typos fail loudly instead of silently defaulting)
+// and bounded (oversized bodies abort with 400 instead of buffering).
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"mixnet/internal/failure"
 	"mixnet/internal/scenario"
 	"mixnet/internal/trainsim"
 )
@@ -244,6 +246,102 @@ func TestDrillRestoreThenReuse(t *testing.T) {
 	lease.Evict()
 }
 
+// TestDifferentDrillAfterRestore: the epoch-collision regression. Release
+// rewinds a verified-restored drill engine's graph to the build epoch,
+// which leaves the engine's epoch-stamped caches (drill-time routes, the
+// private compile memo) stamped *ahead* of the graph. A second, different
+// drill that performs the same number of epoch bumps — here: downing the
+// same number of NIC links on a different server — lands the graph back on
+// exactly the stale stamp's value, so without the post-rewind resync the
+// lazy epoch checks "match" and the run replays routes that avoid the
+// first drill's downed links while sending traffic over the second
+// drill's. The pooled second drill must stay byte-identical to a fresh
+// engine running the same drill.
+func TestDifferentDrillAfterRestore(t *testing.T) {
+	t.Parallel()
+	cfg := scenario.Config{Fabric: "fat-tree", Iterations: 2, Seed: 1}.WithDefaults()
+
+	drillStats := func(e *trainsim.Engine, server int) []trainsim.IterStats {
+		t.Helper()
+		restore, err := failure.FailEPSNICs(e.Cluster, server, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := e.Run(cfg.Iterations)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	fresh, err := scenario.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(drillStats(fresh, 1))
+
+	pool := NewPool(1, 0, 0)
+	lease, err := pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drillStats(lease.Engine, 0) // downs server 0's NIC links, restores
+	lease.Release(false)
+	if st := pool.Stats(); st.Restores != 1 || st.Evictions != 0 {
+		t.Fatalf("first drill did not take the verified-restore path: %+v", st)
+	}
+
+	lease, err = pool.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lease.Warm {
+		t.Fatal("second drill should reuse the pooled engine")
+	}
+	got, _ := json.Marshal(drillStats(lease.Engine, 1)) // same bump count, different links
+	lease.Release(false)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-restore drill diverged from a fresh engine:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestComposedDrillAfterNICDrill: serve-level epoch-collision coverage.
+// The fail-server+fail-nic drill downs the same number of links as the
+// fail-nic drill that preceded it on the same pooled engine (fail-server
+// remaps GPUs without touching links), so the graph lands back on the
+// first drill's epoch value; before the post-restore resync this exact
+// query sequence replayed stale routes over the second drill's downed
+// links. The served result must match the batch runner byte for byte.
+func TestComposedDrillAfterNICDrill(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{Pool: NewPool(1, 0, 0), Workers: 1})
+	q := failureQuery{
+		QueryConfig: QueryConfig{Fabric: "fat-tree", Iterations: 2, Seed: 1},
+		Scenario:    scenario.FailNIC,
+	}
+	if _, _, err := srv.runFailure(q); err != nil {
+		t.Fatalf("fail-nic: %v", err)
+	}
+	q.Scenario = scenario.FailServerNIC
+	got, meta, err := srv.runFailure(q)
+	if err != nil {
+		t.Fatalf("fail-server+fail-nic on warm engine: %v", err)
+	}
+	if !meta.Warm {
+		t.Fatal("composed drill should run on the pooled engine")
+	}
+	want, err := scenario.Run(scenario.FailServerNIC, q.scenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if !bytes.Equal(gb, wb) {
+		t.Fatalf("served drill diverged from scenario.Run:\n got %s\nwant %s", gb, wb)
+	}
+}
+
 // TestPoolMaxUsesRetires: engines retire after maxUses leases instead of
 // accreting state forever.
 func TestPoolMaxUsesRetires(t *testing.T) {
@@ -262,6 +360,39 @@ func TestPoolMaxUsesRetires(t *testing.T) {
 	}
 	if st := pool.Stats(); st.Evictions != 1 || st.Idle != 0 {
 		t.Fatalf("second lease should retire the engine: %+v", st)
+	}
+}
+
+// TestBaselineCacheBoundAndRetry: the baseline cache must not memoize
+// failures (a failed measurement is retried, not replayed forever) and
+// must not grow beyond baselineCap in a long-running service.
+func TestBaselineCacheBoundAndRetry(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{Pool: NewPool(1, 0, 0), Workers: 1})
+
+	bad := scenario.Config{Model: "no-such-model", Iterations: 1}.WithDefaults()
+	for i := 0; i < 2; i++ {
+		if _, _, err := srv.baseline(bad); err == nil {
+			t.Fatal("baseline of an unknown model succeeded")
+		}
+	}
+	srv.baseMu.Lock()
+	n := len(srv.baselines)
+	srv.baseMu.Unlock()
+	if n != 0 {
+		t.Fatalf("failed baseline stayed cached (%d cells)", n)
+	}
+
+	srv.baseMu.Lock()
+	for i := 0; i < baselineCap+16; i++ {
+		key := fmt.Sprintf("synthetic-key-%d", i)
+		srv.baselines[key] = &baselineCell{done: true}
+		srv.touchBaselineLocked(key)
+	}
+	n, ord := len(srv.baselines), len(srv.baseOrder)
+	srv.baseMu.Unlock()
+	if n != baselineCap || ord != baselineCap {
+		t.Fatalf("cache grew past the bound: %d cells, %d order entries", n, ord)
 	}
 }
 

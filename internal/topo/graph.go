@@ -480,6 +480,14 @@ func (g *Graph) StateHash() uint64 {
 // valid again, which is the point: a pooled engine whose failure drill was
 // fully reversed gets its warm caches back instead of recomputing them.
 // Calling this without state equality poisons every epoch-keyed cache.
+//
+// The rewind leaves caches stamped *between* the restored and the current
+// epoch with stamps ahead of the counter, and their lazy epoch-equality
+// checks cannot detect that: a later mutation sequence of the same length
+// lands the graph back on exactly such a stamp, "matching" it and reviving
+// entries recorded under different link state. The caller must therefore
+// eagerly resync every epoch-stamped cache over this graph right after the
+// rewind (BFSRouter.Resync, collective.Ctx.ResyncCaches).
 func (g *Graph) RestoreEpoch(epoch uint64) { g.epoch = epoch }
 
 // beginFolded switches the graph to folded (slot-indirected) storage with a

@@ -89,6 +89,16 @@ func (e *Engine) AttachSharedMemo(m *collective.Memo) error {
 	return nil
 }
 
+// ResyncCaches drops the engine's epoch-stamped caches — cached routes and
+// the private compile memo — when their stamps no longer match the graph's
+// epoch (collective.Ctx.ResyncCaches). The pool calls this immediately
+// after topo.Graph.RestoreEpoch rewinds a verified-restored engine: the
+// rewind leaves drill-time cache stamps *ahead* of the graph, and a later
+// drill with the same number of epoch bumps would otherwise land the graph
+// back on exactly those values, silently reviving routes recorded under
+// the earlier drill's downed links.
+func (e *Engine) ResyncCaches() { e.ctx.ResyncCaches() }
+
 // MemoStats returns the engine's cumulative compile-cache counters (hits
 // prove a query skipped compilation). Safe only between runs — the
 // counters are written by the run itself.
