@@ -14,6 +14,7 @@
 //	mixnet-bench -json           # also write BENCH_<scale>.json
 //	mixnet-bench -sweep          # every backend, one combined fidelity report
 //	mixnet-bench -scale large    # analytic backends at 8k-256k GPUs -> BENCH_large_ecmp.json
+//	mixnet-bench -tenants 2      # co-scheduled jobs on one shared fabric -> BENCH_tenancy.json
 //
 // Experiments run concurrently on a worker pool; output order and table
 // contents are identical to a sequential run regardless of -par.
@@ -93,6 +94,7 @@ func main() {
 		foldFlag   = flag.Bool("fold", false, "build 3-tier electrical fabrics symmetry-folded (lazy pods/servers, byte-identical results)")
 		overlap    = flag.String("overlap", "", "compute/communication overlap discipline: none (default) | layer | iter")
 		scaleFlag  = flag.String("scale", "", "large: quantify the analytic backends at 8k-256k GPU scale and write BENCH_large_ecmp.json")
+		tenants    = flag.Int("tenants", 0, "co-schedule N training jobs on one shared fabric and write BENCH_tenancy.json (>= 2)")
 		sweep      = flag.Bool("sweep", false, "run the selected experiments on every backend and emit one combined fidelity report")
 		jsonOut    = flag.Bool("json", false, "write machine-readable BENCH_<scale>.json")
 		jsonPath   = flag.String("json-path", "", "override the BENCH_*.json output path")
@@ -117,6 +119,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *tenants != 0 {
+		if err := runTenancy(*tenants, scale, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scaleFlag != "" {
 		if *scaleFlag != "large" {
 			fmt.Fprintf(os.Stderr, "unknown -scale %q (only \"large\" is defined; use -full for paper-scale experiment dimensions)\n", *scaleFlag)
@@ -214,6 +223,24 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runTenancy co-schedules n jobs on one shared fabric, prints the
+// interference table and writes the co-sim-vs-serial-sum report.
+func runTenancy(n int, scale experiments.Scale, path string) error {
+	t, rep, err := experiments.TenancyBench(scale, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.String())
+	if path == "" {
+		path = "BENCH_tenancy.json"
+	}
+	if err := writeJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // largeEcmpReport is the BENCH_large_ecmp.json schema.

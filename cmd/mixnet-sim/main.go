@@ -12,6 +12,8 @@
 //	mixnet-sim -fabric fat-tree -fold                # symmetry-folded topology build
 //	mixnet-sim -scenario fail-nic+fail-gpu           # composed multi-failure drill
 //	mixnet-sim -scenario matrix -backends fluid,packet,analytic
+//	mixnet-sim -tenants 2 -contend                   # co-scheduled jobs, shared-link contention priced
+//	mixnet-sim -tenants 2 -arbiter-slots 1 -arbiter priority   # shared reconfiguration control plane
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 
 	"mixnet"
 	"mixnet/internal/scenario"
+	"mixnet/internal/tenancy"
+	"mixnet/internal/trainsim"
 )
 
 func main() {
@@ -40,8 +44,12 @@ func main() {
 		mode     = flag.String("mode", "block", "first-A2A handling: block | reuse | copilot")
 		delay    = flag.Float64("reconfig-ms", 25, "OCS reconfiguration delay in ms")
 		seed     = flag.Int64("seed", 1, "gate random seed")
-		scen     = flag.String("scenario", "", "run a named scenario instead: synthetic | trace | fail-nic | fail-gpu | fail-server | fail-nic+fail-gpu | fail-server+fail-nic | copilot-drill | matrix")
+		scen     = flag.String("scenario", "", "run a named scenario instead: synthetic | trace | fail-nic | fail-gpu | fail-server | fail-nic+fail-gpu | fail-server+fail-nic | copilot-drill | co-tenant | co-tenant-steal | matrix")
 		backends = flag.String("backends", "", "comma-separated backend list for -scenario matrix (default: -backend)")
+		tenants  = flag.Int("tenants", 0, "co-schedule N jobs (-model at -dp plus N-1 DP-doubled neighbours) on one shared fabric")
+		contend  = flag.Bool("contend", false, "price cross-tenant shared-link contention by co-simulating concurrent flows (default: isolated slices, bitwise solo-identical)")
+		arbSlots = flag.Int("arbiter-slots", 0, "shared OCS reconfiguration slots across tenants (0 = unarbitrated)")
+		arbiter  = flag.String("arbiter", "fair", "reconfiguration-grant policy with -arbiter-slots: fair | priority")
 		list     = flag.Bool("list", false, "list models and scenarios, then exit")
 	)
 	flag.Parse()
@@ -51,6 +59,15 @@ func main() {
 			fmt.Println(m)
 		}
 		fmt.Println("scenarios:", strings.Join(scenario.Names(), " "))
+		return
+	}
+	if *tenants != 0 {
+		runTenants(*tenants, tenancy.Config{
+			Fabric: strings.ToLower(*fabric), Backend: *backend, CC: *cc,
+			Workers: *workers, Batch: *batch, LinkGbps: *gbps,
+			ReconfigDelaySec: *delay / 1e3, Contend: *contend,
+			ArbiterSlots: *arbSlots, ArbiterPolicy: *arbiter,
+		}, *model, *dp, *iters, *seed, *mode, *overlap)
 		return
 	}
 	if *scen != "" {
@@ -103,6 +120,69 @@ func main() {
 	}
 	fmt.Printf("mean iteration time: %.3fs (A2A fraction %.0f%%)\n",
 		res.MeanIterTime, res.Stats[len(res.Stats)-1].A2AFraction()*100)
+}
+
+// runTenants co-schedules n jobs on one shared fabric: the named model at
+// the requested data parallelism plus n-1 DP-doubled neighbours, drained in
+// merged frontiers on one backend pool. With -contend the per-tenant means
+// are also priced against a solo serial-sum baseline.
+func runTenants(n int, cfg tenancy.Config, model string, dp, iters int, seed int64, mode, overlap string) {
+	if n < 2 {
+		fmt.Fprintf(os.Stderr, "-tenants needs >= 2 jobs, got %d\n", n)
+		os.Exit(2)
+	}
+	jobs := make([]tenancy.Job, n)
+	for i := range jobs {
+		d := dp
+		if i > 0 {
+			d = 2 * dp
+		}
+		jobs[i] = tenancy.Job{
+			Name: fmt.Sprintf("t%d", i), Model: model, DP: d, Seed: seed + int64(i),
+			FirstA2A: mode, Overlap: overlap, Base: tenancy.AutoBase,
+		}
+	}
+	cs, err := tenancy.New(cfg, jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := cs.Run(iters); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var solo *tenancy.CoSim
+	if cfg.Contend || cfg.ArbiterSlots > 0 {
+		solo, err = tenancy.RunSerial(cfg, jobs, iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	backend := cfg.Backend
+	if backend == "" {
+		backend = "fluid"
+	}
+	fmt.Printf("%d tenants on shared %s (%d servers, %s backend)\n",
+		n, cfg.Fabric, len(cs.Cluster.Servers), backend)
+	fmt.Printf("%-6s %-10s %-8s %-10s %-12s %-12s %s\n",
+		"tenant", "model", "servers", "mean(s)", "blocked(s)", "reconfigs", "interference")
+	for i, tr := range cs.Tenants {
+		last := tr.Stats[len(tr.Stats)-1]
+		inter := "-"
+		if solo != nil {
+			s := trainsim.MeanIterTime(solo.Tenants[i].Stats)
+			if s > 0 {
+				inter = fmt.Sprintf("%+.1f%%", (trainsim.MeanIterTime(tr.Stats)/s-1)*100)
+			}
+		}
+		fmt.Printf("%-6s %-10s %-8d %-10.3f %-12.3f %-12d %s\n",
+			tr.Job.Name, tr.Job.Model, tr.Servers,
+			trainsim.MeanIterTime(tr.Stats), last.Blocked, last.Reconfigs, inter)
+	}
+	ms := cs.MergedStats()
+	fmt.Printf("merged drain: %d frontiers, width max %d mean %.1f, fused steps %d\n",
+		ms.Batches, ms.WidthMax, ms.WidthMean, ms.FusedSteps)
 }
 
 // runScenario drives the unified scenario runner: one named scenario on one

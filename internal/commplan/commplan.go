@@ -374,6 +374,78 @@ func (p *Plan) snapshotCSR(n int, indeg []int32) {
 	p.csrOK = true
 }
 
+// prepExec builds or restores the successor CSR for the plan's current
+// steps and returns the working indegree slice, ready for a drain. Shared
+// by Execute and MergedExec: the CSR reuse bookkeeping (csrSame /
+// snapshotCSR) behaves identically whichever executor drains the plan.
+//
+//mixnet:noalloc
+func (p *Plan) prepExec(n int) []int32 {
+	p.grow(n)
+	indeg := p.indeg[:n]
+	succOff := p.succOff[:n+1]
+	succ := p.succ[:len(p.deps)]
+	if p.csrSame(n) {
+		// Same DAG as the last build: succ/succOff still hold its CSR (the
+		// drain never writes them), only indeg needs restoring.
+		copy(indeg, p.indeg0[:n])
+		p.stats.CSRReuses++
+		return indeg
+	}
+	// Build the successor CSR from the dependency arena: succ lists, per
+	// step, the steps that wait on it.
+	for i := range succOff {
+		succOff[i] = 0
+	}
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for _, d := range p.Deps(i) {
+			succOff[d]++
+			indeg[i]++
+		}
+	}
+	var sum int32
+	for i := 0; i < n; i++ {
+		c := succOff[i]
+		succOff[i] = sum
+		sum += c
+	}
+	succOff[n] = sum
+	// Fill cursors advance succOff; succOff[i] ends up holding the end of
+	// i's successor range (start = previous end), which is the layout the
+	// drain and the reuse path both read.
+	for i := 0; i < n; i++ {
+		for _, d := range p.Deps(i) {
+			succ[succOff[d]] = int32(i)
+			succOff[d]++
+		}
+	}
+	p.snapshotCSR(n, indeg)
+	p.stats.CSRBuilds++
+	return indeg
+}
+
+// releaseInto decrements id's successors' indegrees, appending newly ready
+// steps to queue (returned reallocated-or-not, append semantics). Callers
+// iterate the queue by index, so appends made mid-iteration are visited.
+//
+//mixnet:noalloc
+func (p *Plan) releaseInto(id int32, indeg []int32, queue []int32) []int32 {
+	start := int32(0)
+	if id > 0 {
+		start = p.succOff[id-1]
+	}
+	for _, s := range p.succ[start:p.succOff[id]] {
+		indeg[s]--
+		if indeg[s] == 0 {
+			queue = append(queue, s)
+		}
+	}
+	return queue
+}
+
 // Execute simulates the plan on b over g. With batch set, every frontier of
 // ready simulated steps is submitted as one BatchMakespan call (barriers
 // resolve for free and immediately release their successors); without it,
@@ -387,55 +459,7 @@ func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
 	if n == 0 {
 		return nil
 	}
-	p.grow(n)
-	indeg := p.indeg[:n]
-	succOff := p.succOff[:n+1]
-	succ := p.succ[:len(p.deps)]
-	if p.csrSame(n) {
-		// Same DAG as the last build: succ/succOff still hold its CSR (the
-		// drain below never writes them), only indeg needs restoring.
-		copy(indeg, p.indeg0[:n])
-		p.stats.CSRReuses++
-	} else {
-		// Build the successor CSR from the dependency arena: succ lists, per
-		// step, the steps that wait on it.
-		for i := range succOff {
-			succOff[i] = 0
-		}
-		for i := range indeg {
-			indeg[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			for _, d := range p.Deps(i) {
-				succOff[d]++
-				indeg[i]++
-			}
-		}
-		var sum int32
-		for i := 0; i < n; i++ {
-			c := succOff[i]
-			succOff[i] = sum
-			sum += c
-		}
-		succOff[n] = sum
-		// Fill cursors advance succOff; succOff[i] ends up holding the end of
-		// i's successor range (start = previous end), which is the layout the
-		// drain and the reuse path both read.
-		for i := 0; i < n; i++ {
-			for _, d := range p.Deps(i) {
-				succ[succOff[d]] = int32(i)
-				succOff[d]++
-			}
-		}
-		p.snapshotCSR(n, indeg)
-		p.stats.CSRBuilds++
-	}
-	succStart := func(i int) int32 {
-		if i == 0 {
-			return 0
-		}
-		return succOff[i-1]
-	}
+	indeg := p.prepExec(n)
 
 	p.widths = p.widths[:0]
 	queue := p.frontier[:0]
@@ -445,16 +469,8 @@ func (p *Plan) Execute(g *topo.Graph, b netsim.Backend, batch bool) error {
 		}
 	}
 	done := 0
-	// release decrements successors' indegrees, appending newly ready steps
-	// to the queue. Callers iterate the queue by index, so appends made
-	// mid-iteration are still visited.
 	release := func(id int32) {
-		for _, s := range succ[succStart(int(id)):succOff[id]] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				queue = append(queue, s)
-			}
-		}
+		queue = p.releaseInto(id, indeg, queue)
 	}
 	for done < n {
 		if len(queue) == 0 {

@@ -1,0 +1,143 @@
+package commplan
+
+import (
+	"testing"
+
+	"mixnet/internal/netsim"
+)
+
+func TestMergedMatchesSoloExecute(t *testing.T) {
+	c, steps := testWorkload(t, 6)
+	for _, backend := range netsim.Names() {
+		for _, batch := range []bool{false, true} {
+			solo, err := netsim.NewWithOptions(backend, "", 2, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared, err := netsim.NewWithOptions(backend, "", 2, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Solo reference: each plan drained alone.
+			a1, b1 := New(), New()
+			buildPlan(a1, steps[:4], 1e-3)
+			buildPlan(b1, steps[4:], 2e-3)
+			if err := a1.Execute(c.G, solo, batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := b1.Execute(c.G, solo, batch); err != nil {
+				t.Fatal(err)
+			}
+			// Merged drain of identically built plans on one backend.
+			a2, b2 := New(), New()
+			buildPlan(a2, steps[:4], 1e-3)
+			buildPlan(b2, steps[4:], 2e-3)
+			m := NewMergedExec()
+			if err := m.Execute(c.G, shared, []*Plan{a2, b2}, batch); err != nil {
+				t.Fatalf("%s batch=%v: %v", backend, batch, err)
+			}
+			for i := 0; i < a1.Len(); i++ {
+				if a2.Step(i).Makespan != a1.Step(i).Makespan {
+					t.Fatalf("%s batch=%v: plan A step %d: merged %v != solo %v",
+						backend, batch, i, a2.Step(i).Makespan, a1.Step(i).Makespan)
+				}
+			}
+			for i := 0; i < b1.Len(); i++ {
+				if b2.Step(i).Makespan != b1.Step(i).Makespan {
+					t.Fatalf("%s batch=%v: plan B step %d: merged %v != solo %v",
+						backend, batch, i, b2.Step(i).Makespan, b1.Step(i).Makespan)
+				}
+			}
+			if s := m.Stats(); s.Batches == 0 || s.WidthMax < 2 {
+				t.Fatalf("%s batch=%v: merged stats did not record fused frontiers: %+v", backend, batch, s)
+			}
+		}
+	}
+}
+
+func TestMergedEmptyAndSinglePlans(t *testing.T) {
+	c, steps := testWorkload(t, 3)
+	b, err := netsim.New("fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := New()
+	buildPlan(solo, steps, 1e-3)
+	ref := New()
+	buildPlan(ref, steps, 1e-3)
+	if err := ref.Execute(c.G, b, true); err != nil {
+		t.Fatal(err)
+	}
+	empty := New()
+	m := NewMergedExec()
+	if err := m.Execute(c.G, b, []*Plan{empty, solo}, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ref.Len(); i++ {
+		if solo.Step(i).Makespan != ref.Step(i).Makespan {
+			t.Fatalf("step %d: merged-with-empty %v != solo %v", i, solo.Step(i).Makespan, ref.Step(i).Makespan)
+		}
+	}
+	if err := m.Execute(c.G, b, nil, true); err != nil {
+		t.Fatalf("no plans: %v", err)
+	}
+}
+
+func TestMergedContendedDeterministicAndSlower(t *testing.T) {
+	c, steps := testWorkload(t, 6)
+	run := func(workers int) (*Plan, *Plan, MergedStats) {
+		b, err := netsim.NewWithOptions("packet", "", workers, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := New(), New()
+		buildPlan(pa, steps[:4], 1e-3)
+		buildPlan(pb, steps[4:], 2e-3)
+		m := NewMergedExec()
+		m.Contend = true
+		if err := m.Execute(c.G, b, []*Plan{pa, pb}, true); err != nil {
+			t.Fatal(err)
+		}
+		return pa, pb, m.Stats()
+	}
+	a1, b1, s1 := run(1)
+	a4, b4, _ := run(4)
+	for i := 0; i < a1.Len(); i++ {
+		if a1.Step(i).Makespan != a4.Step(i).Makespan {
+			t.Fatalf("contended plan A step %d differs across worker counts", i)
+		}
+	}
+	for i := 0; i < b1.Len(); i++ {
+		if b1.Step(i).Makespan != b4.Step(i).Makespan {
+			t.Fatalf("contended plan B step %d differs across worker counts", i)
+		}
+	}
+	if s1.FusedSteps == 0 {
+		t.Fatal("contended merge fused no cross-plan steps")
+	}
+	// Contention cannot make a shared-link step faster than its solo run.
+	soloB, err := netsim.NewWithOptions("packet", "", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := New(), New()
+	buildPlan(ra, steps[:4], 1e-3)
+	buildPlan(rb, steps[4:], 2e-3)
+	if err := ra.Execute(c.G, soloB, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Execute(c.G, soloB, true); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-12
+	for i := 0; i < a1.Len(); i++ {
+		if a1.Step(i).Makespan < ra.Step(i).Makespan-eps {
+			t.Fatalf("plan A step %d faster under contention: %v < %v", i, a1.Step(i).Makespan, ra.Step(i).Makespan)
+		}
+	}
+	for i := 0; i < b1.Len(); i++ {
+		if b1.Step(i).Makespan < rb.Step(i).Makespan-eps {
+			t.Fatalf("plan B step %d faster under contention: %v < %v", i, b1.Step(i).Makespan, rb.Step(i).Makespan)
+		}
+	}
+}

@@ -84,6 +84,28 @@ func SimPlans() map[string]TrainPlan {
 	}
 }
 
+// PlanFor resolves a registry model and its training plan by name, with dp
+// replicas applied (dp <= 0 keeps the plan's own DP). The simulation plan
+// takes precedence over the Table 1 plan, matching the scenario runner's
+// resolution order, so every entry point sizes a named model identically.
+func PlanFor(name string, dp int) (Model, TrainPlan, error) {
+	m, ok := Models()[name]
+	if !ok {
+		return Model{}, TrainPlan{}, fmt.Errorf("moe: unknown model %q", name)
+	}
+	plan, ok := SimPlans()[name]
+	if !ok {
+		plan, ok = Table1Plans()[name]
+	}
+	if !ok {
+		return Model{}, TrainPlan{}, fmt.Errorf("moe: model %q has no training plan", name)
+	}
+	if dp > 0 {
+		plan.DP = dp
+	}
+	return m, plan, nil
+}
+
 // Models returns the full registry keyed by name.
 func Models() map[string]Model {
 	out := map[string]Model{}

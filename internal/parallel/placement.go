@@ -15,29 +15,55 @@ import (
 	"mixnet/internal/topo"
 )
 
-// Placement binds a training plan to a cluster.
+// Placement binds a training plan to a contiguous server slice of a
+// cluster. NewPlacement covers the whole cluster (the single-job case);
+// NewPlacementAt places the plan on [base, base+servers) so several
+// independent jobs can share one fabric (internal/tenancy).
 type Placement struct {
 	Plan    moe.TrainPlan
 	Cluster *topo.Cluster
+
+	base    int // first server of the slice
+	servers int // servers in the slice
 }
 
 // NewPlacement validates that the plan exactly fills the cluster's GPUs.
 func NewPlacement(c *topo.Cluster, p moe.TrainPlan) (*Placement, error) {
+	return NewPlacementAt(c, p, 0, len(c.Servers))
+}
+
+// NewPlacementAt validates that the plan exactly fills the GPUs of the
+// server slice [base, base+servers) and binds it there. Rank-to-GPU
+// mapping is identical to a solo placement on a cluster of that size,
+// just offset by base servers — a job moved onto a slice keeps its
+// internal communication structure bitwise.
+func NewPlacementAt(c *topo.Cluster, p moe.TrainPlan, base, servers int) (*Placement, error) {
+	if base < 0 || servers <= 0 || base+servers > len(c.Servers) {
+		return nil, fmt.Errorf("parallel: server slice [%d, %d) outside cluster of %d servers",
+			base, base+servers, len(c.Servers))
+	}
 	need := p.GPUs()
-	if need != c.GPUCount() {
-		return nil, fmt.Errorf("parallel: plan needs %d GPUs, cluster has %d", need, c.GPUCount())
+	if have := servers * c.Spec.GPUsPerServer; need != have {
+		return nil, fmt.Errorf("parallel: plan needs %d GPUs, slice has %d", need, have)
 	}
 	if p.TP > c.Spec.GPUsPerServer {
 		return nil, fmt.Errorf("parallel: TP=%d exceeds %d GPUs per server (TP must stay on NVSwitch)",
 			p.TP, c.Spec.GPUsPerServer)
 	}
-	return &Placement{Plan: p, Cluster: c}, nil
+	return &Placement{Plan: p, Cluster: c, base: base, servers: servers}, nil
 }
+
+// Base returns the first server index of the placement's slice.
+func (pl *Placement) Base() int { return pl.base }
+
+// NumServers returns the server count of the placement's slice.
+func (pl *Placement) NumServers() int { return pl.servers }
 
 // Rank identifies one logical position in the 4-D parallel grid.
 type Rank struct{ DP, PP, EP, TP int }
 
-// GPUIndex returns the cluster-wide GPU index of a rank (server-major).
+// GPUIndex returns the slice-local GPU index of a rank (server-major
+// within the placement's slice; cluster-wide for whole-cluster placements).
 func (pl *Placement) GPUIndex(r Rank) int {
 	p := pl.Plan
 	return ((r.DP*p.PP+r.PP)*p.EP+r.EP)*p.TP + r.TP
@@ -57,15 +83,15 @@ func (pl *Placement) RankOf(gpu int) Rank {
 
 // GPUNode returns the topology node of a rank's GPU.
 func (pl *Placement) GPUNode(r Rank) topo.NodeID {
-	return pl.Cluster.GlobalGPU(pl.GPUIndex(r))
+	return pl.Cluster.GlobalGPU(pl.base*pl.Cluster.Spec.GPUsPerServer + pl.GPUIndex(r))
 }
 
-// ServerOf returns the server index hosting a rank.
+// ServerOf returns the global server index hosting a rank.
 func (pl *Placement) ServerOf(r Rank) int {
-	return pl.GPUIndex(r) / pl.Cluster.Spec.GPUsPerServer
+	return pl.base + pl.GPUIndex(r)/pl.Cluster.Spec.GPUsPerServer
 }
 
-// EPGroupGPUs returns the cluster-wide GPU indices of one EP group
+// EPGroupGPUs returns the slice-local GPU indices of one EP group
 // (all EP x TP GPUs of stage pp in replica dp), in EP-major order.
 func (pl *Placement) EPGroupGPUs(dp, pp int) []int {
 	p := pl.Plan
@@ -78,14 +104,14 @@ func (pl *Placement) EPGroupGPUs(dp, pp int) []int {
 	return out
 }
 
-// EPGroupServers returns the distinct server indices an EP group spans,
-// in ascending order.
+// EPGroupServers returns the distinct global server indices an EP group
+// spans, in ascending order.
 func (pl *Placement) EPGroupServers(dp, pp int) []int {
 	per := pl.Cluster.Spec.GPUsPerServer
 	seen := map[int]bool{}
 	var out []int
 	for _, g := range pl.EPGroupGPUs(dp, pp) {
-		s := g / per
+		s := pl.base + g/per
 		if !seen[s] {
 			seen[s] = true
 			out = append(out, s)
@@ -94,15 +120,15 @@ func (pl *Placement) EPGroupServers(dp, pp int) []int {
 	return out
 }
 
-// EPRankLeaderGPU returns the GPU index of TP rank 0 of an EP rank — the
-// rank that initiates that EP rank's all-to-all traffic.
+// EPRankLeaderGPU returns the slice-local GPU index of TP rank 0 of an EP
+// rank — the rank that initiates that EP rank's all-to-all traffic.
 func (pl *Placement) EPRankLeaderGPU(dp, pp, ep int) int {
 	return pl.GPUIndex(Rank{DP: dp, PP: pp, EP: ep, TP: 0})
 }
 
-// ServerOfEPRank returns the server hosting EP rank ep of (dp, pp).
+// ServerOfEPRank returns the global server hosting EP rank ep of (dp, pp).
 func (pl *Placement) ServerOfEPRank(dp, pp, ep int) int {
-	return pl.EPRankLeaderGPU(dp, pp, ep) / pl.Cluster.Spec.GPUsPerServer
+	return pl.base + pl.EPRankLeaderGPU(dp, pp, ep)/pl.Cluster.Spec.GPUsPerServer
 }
 
 // RegionServersPerEPGroup returns how many servers one EP group spans —

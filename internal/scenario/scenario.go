@@ -17,6 +17,7 @@ import (
 	"mixnet/internal/moe"
 	"mixnet/internal/ocs"
 	"mixnet/internal/parallel"
+	"mixnet/internal/tenancy"
 	"mixnet/internal/topo"
 	"mixnet/internal/trace"
 	"mixnet/internal/trainsim"
@@ -108,11 +109,23 @@ const (
 	// use predicted circuits, so the overhead isolates the failure, not the
 	// first-A2A policy.
 	CopilotDrill = "copilot-drill"
+	// CoTenant co-schedules cfg.Model beside a DP-heavy neighbour (the same
+	// model at twice the data parallelism, different seed) on one shared
+	// fabric with contention pricing: the result's MeanIterTime is the
+	// primary tenant's contended mean, the baseline its solo serial-sum
+	// mean, and Overhead the cross-tenant interference inflation.
+	CoTenant = "co-tenant"
+	// CoTenantSteal is the cross-tenant failure drill: in the contended
+	// co-simulation the primary tenant loses its first server and its
+	// replacement is stolen from inside the neighbour's slice. The result
+	// measures the NEIGHBOUR's inflation against the clean contended co-sim
+	// — the collateral cost of someone else's repair.
+	CoTenantSteal = "co-tenant-steal"
 )
 
 // Names lists the runnable scenarios in matrix order.
 func Names() []string {
-	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC, CopilotDrill}
+	return []string{Synthetic, TraceName, FailNIC, FailGPU, FailServer, FailNICGPU, FailServerNIC, CopilotDrill, CoTenant, CoTenantSteal}
 }
 
 // WithDefaults returns the configuration with the package defaults filled
@@ -146,21 +159,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// modelPlan resolves the model and its training plan with DP applied.
+// modelPlan resolves the model and its training plan with DP applied
+// (moe.PlanFor — the resolution every entry point shares).
 func modelPlan(cfg Config) (moe.Model, moe.TrainPlan, error) {
-	m, ok := moe.Models()[cfg.Model]
-	if !ok {
-		return moe.Model{}, moe.TrainPlan{}, fmt.Errorf("scenario: unknown model %q", cfg.Model)
-	}
-	plan, ok := moe.SimPlans()[cfg.Model]
-	if !ok {
-		plan, ok = moe.Table1Plans()[cfg.Model]
-	}
-	if !ok {
-		return moe.Model{}, moe.TrainPlan{}, fmt.Errorf("scenario: model %q has no training plan", cfg.Model)
-	}
-	plan.DP = cfg.DP
-	return m, plan, nil
+	return moe.PlanFor(cfg.Model, cfg.DP)
 }
 
 // Fabrics maps the CLI fabric names to topology kinds.
@@ -400,6 +402,99 @@ func DrillInjector(name string) (Injector, bool) {
 	return nil, false
 }
 
+// tenancyConfig maps a scenario configuration onto the multi-tenant
+// runner's, with contention pricing on: the co-tenant entries exist to put
+// numbers on shared-link interference, not to showcase the identity mode.
+func tenancyConfig(cfg Config) tenancy.Config {
+	return tenancy.Config{
+		Fabric: cfg.Fabric, Backend: cfg.Backend, CC: cfg.CC,
+		Workers: cfg.Workers, Batch: cfg.Batch, LinkGbps: cfg.LinkGbps,
+		ReconfigDelaySec: cfg.ReconfigDelaySec, Contend: true,
+	}
+}
+
+// coTenantJobs pairs cfg.Model with a DP-heavy neighbour: the same model
+// at twice the data parallelism under a different gate seed, auto-packed
+// onto the next region slice. Same model ⇒ same EP-group span, so the pair
+// co-locates on reconfigurable fabrics.
+func coTenantJobs(cfg Config) []tenancy.Job {
+	return []tenancy.Job{
+		{Name: "primary", Model: cfg.Model, DP: cfg.DP, Seed: cfg.Seed,
+			FirstA2A: cfg.FirstA2A, Overlap: cfg.Overlap, Base: tenancy.AutoBase},
+		{Name: "secondary", Model: cfg.Model, DP: 2 * cfg.DP, Seed: cfg.Seed + 1,
+			FirstA2A: cfg.FirstA2A, Overlap: cfg.Overlap, Base: tenancy.AutoBase},
+	}
+}
+
+// runCoTenant measures cross-tenant interference: the primary tenant's
+// contended co-sim mean against its solo serial-sum mean.
+func runCoTenant(cfg Config, name string) (Result, error) {
+	jobs := coTenantJobs(cfg)
+	cs, err := tenancy.New(tenancyConfig(cfg), jobs)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if err := cs.Run(cfg.Iterations); err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	solo, err := tenancy.RunSerial(tenancyConfig(cfg), jobs, cfg.Iterations)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: solo baseline: %w", name, err)
+	}
+	res := Result{
+		Scenario: name, Backend: backendName(cfg),
+		GPUs: cs.Cluster.GPUCount(), Servers: len(cs.Cluster.Servers),
+		Iterations:       cfg.Iterations,
+		MeanIterTime:     trainsim.MeanIterTime(cs.Tenant("primary").Stats),
+		BaselineIterTime: trainsim.MeanIterTime(solo.Tenant("primary").Stats),
+	}
+	if res.BaselineIterTime > 0 {
+		res.Overhead = res.MeanIterTime/res.BaselineIterTime - 1
+	}
+	return res, nil
+}
+
+// runCoTenantSteal prices the collateral damage of a cross-tenant repair:
+// the primary tenant's first server fails and its backup is the last
+// server of the NEIGHBOUR's slice, so the neighbour's links now also carry
+// the primary's detoured traffic. Reported is the neighbour's inflation
+// over the clean contended co-sim.
+func runCoTenantSteal(cfg Config, name string) (Result, error) {
+	jobs := coTenantJobs(cfg)
+	clean, err := tenancy.New(tenancyConfig(cfg), jobs)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	if err := clean.Run(cfg.Iterations); err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	faulty, err := tenancy.New(tenancyConfig(cfg), jobs)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	p, s := faulty.Tenant("primary"), faulty.Tenant("secondary")
+	stolen := s.BaseServer + s.Servers - 1
+	restore, err := failure.FailServer(p.Engine, p.BaseServer, stolen)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: inject: %w", name, err)
+	}
+	defer restore()
+	if err := faulty.Run(cfg.Iterations); err != nil {
+		return Result{}, fmt.Errorf("scenario %s: %w", name, err)
+	}
+	res := Result{
+		Scenario: name, Backend: backendName(cfg),
+		GPUs: faulty.Cluster.GPUCount(), Servers: len(faulty.Cluster.Servers),
+		Iterations:       cfg.Iterations,
+		MeanIterTime:     trainsim.MeanIterTime(s.Stats),
+		BaselineIterTime: trainsim.MeanIterTime(clean.Tenant("secondary").Stats),
+	}
+	if res.BaselineIterTime > 0 {
+		res.Overhead = res.MeanIterTime/res.BaselineIterTime - 1
+	}
+	return res, nil
+}
+
 // run executes one scenario; base optionally supplies a memoized clean run
 // of the same configuration for the failure drills.
 func run(name string, cfg Config, base *Result) (Result, error) {
@@ -438,6 +533,10 @@ func run(name string, cfg Config, base *Result) (Result, error) {
 		cop := cfg
 		cop.FirstA2A = "copilot"
 		return drill(cop, name, nil, injectGPU)
+	case CoTenant:
+		return runCoTenant(cfg, name)
+	case CoTenantSteal:
+		return runCoTenantSteal(cfg, name)
 	}
 	return Result{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
 }

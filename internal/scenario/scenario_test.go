@@ -136,12 +136,42 @@ func TestMatrixAcrossBackends(t *testing.T) {
 		}
 	}
 	for _, r := range results {
-		if r.Scenario == CopilotDrill {
-			continue // measures its own copilot-mode baseline
+		switch r.Scenario {
+		case CopilotDrill, CoTenant, CoTenantSteal:
+			continue // measure their own baselines (copilot-mode / co-sim)
 		}
 		if r.IsDrill() && r.BaselineIterTime != synth[r.Backend] {
 			t.Errorf("%s/%s: baseline %v != synthetic %v", r.Scenario, r.Backend, r.BaselineIterTime, synth[r.Backend])
 		}
+	}
+}
+
+// TestCoTenantScenarios: the interference entry prices the primary tenant
+// against its solo run (contention can only add time), and the steal drill
+// prices the neighbour against the clean co-sim.
+func TestCoTenantScenarios(t *testing.T) {
+	co, err := Run(CoTenant, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.IsDrill() {
+		t.Fatal("co-tenant result missing solo baseline")
+	}
+	if co.Overhead < -1e-9 || math.IsNaN(co.Overhead) {
+		t.Errorf("co-tenant interference overhead %v negative", co.Overhead)
+	}
+	if co.Servers != 48 {
+		t.Errorf("co-located cluster has %d servers, want 48 (16 primary + 32 DP-heavy)", co.Servers)
+	}
+	steal, err := Run(CoTenantSteal, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !steal.IsDrill() {
+		t.Fatal("co-tenant-steal result missing clean co-sim baseline")
+	}
+	if steal.Overhead < -1e-9 || steal.Overhead > 5 || math.IsNaN(steal.Overhead) {
+		t.Errorf("co-tenant-steal overhead %v implausible", steal.Overhead)
 	}
 }
 

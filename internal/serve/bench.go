@@ -54,8 +54,13 @@ type BenchReport struct {
 	Iterations int    `json:"iterations"`
 
 	ColdIterSec float64 `json:"cold_iter_query_sec"` // first query: build + compile
-	WarmIterSec float64 `json:"warm_iter_query_sec"` // pooled engine, memoized compile
+	WarmIterSec float64 `json:"warm_iter_query_sec"` // pooled engine, memoized compile (no_cache: engine must run)
 	Speedup     float64 `json:"cold_over_warm"`
+
+	// CachedIterSec is the fully identical query replayed from the result
+	// cache: no engine runs, the stored bytes stream back directly.
+	CachedIterSec float64 `json:"cached_hit_query_sec"`
+	CachedSpeedup float64 `json:"cold_over_cached"`
 
 	// WarmMemoHits is the engine-reported compile-cache hit count on the
 	// warm query — nonzero proves the warm path skipped compilation.
@@ -164,8 +169,12 @@ func Selftest(opts BenchOptions, logw io.Writer) (*BenchReport, error) {
 	report.Identity = append(report.Identity,
 		IdentityCheck{Name: "iter-cold-vs-simulate", Bytes: len(cold), OK: bytes.Equal(cold, want)})
 
+	// Warm path: no_cache forces the engine to run (a pooled engine with a
+	// memoized compile), measuring serving latency rather than cache replay.
+	warmQ := iterQ
+	warmQ.NoCache = true
 	t0 = time.Now()
-	warm, warmMeta, err := c.post("/v1/iter", iterQ)
+	warm, warmMeta, err := c.post("/v1/iter", warmQ)
 	if err != nil {
 		return nil, fmt.Errorf("warm iter query: %w", err)
 	}
@@ -176,6 +185,21 @@ func Selftest(opts BenchOptions, logw io.Writer) (*BenchReport, error) {
 	report.WarmMemoHits = warmMeta.EngineMemo.Hits
 	report.Identity = append(report.Identity,
 		IdentityCheck{Name: "iter-warm-vs-cold", Bytes: len(warm), OK: bytes.Equal(warm, cold)})
+
+	// Cached path: the fully identical query replays the cold response's
+	// stored bytes without touching an engine.
+	t0 = time.Now()
+	cached, cachedMeta, err := c.post("/v1/iter", iterQ)
+	if err != nil {
+		return nil, fmt.Errorf("cached iter query: %w", err)
+	}
+	report.CachedIterSec = time.Since(t0).Seconds()
+	if report.CachedIterSec > 0 {
+		report.CachedSpeedup = report.ColdIterSec / report.CachedIterSec
+	}
+	report.Identity = append(report.Identity,
+		IdentityCheck{Name: "iter-cached-vs-cold", Bytes: len(cached),
+			OK: cachedMeta.Cached && bytes.Equal(cached, cold)})
 
 	failQ := failureQuery{QueryConfig: iterQ, Scenario: scenario.FailNIC}
 	wantFail, err := runScenarioDirect(failQ)
@@ -190,8 +214,9 @@ func Selftest(opts BenchOptions, logw io.Writer) (*BenchReport, error) {
 		IdentityCheck{Name: "failure-vs-scenario-run", Bytes: len(gotFail), OK: bytes.Equal(gotFail, wantFail)})
 
 	// The drill's engine must not poison later clean queries: the next
-	// clean result must still match the cold one bit for bit.
-	postDrill, _, err := c.post("/v1/iter", iterQ)
+	// clean result must still match the cold one bit for bit. no_cache
+	// forces a real engine run — a cache replay would prove nothing.
+	postDrill, _, err := c.post("/v1/iter", warmQ)
 	if err != nil {
 		return nil, fmt.Errorf("post-drill iter query: %w", err)
 	}
@@ -265,10 +290,12 @@ func (c *client) measure(n int, opts BenchOptions) (QPSPoint, error) {
 			count := 0
 			for round := 0; time.Now().Before(deadline); round++ {
 				var err error
+				// no_cache throughout: the load mix measures engine serving
+				// throughput, not result-cache replay.
 				switch {
 				case round%8 == 5:
 					_, _, err = c.post("/v1/failure", failureQuery{
-						QueryConfig: QueryConfig{Fabric: "fat-tree", Iterations: opts.Iterations, Seed: 1},
+						QueryConfig: QueryConfig{Fabric: "fat-tree", Iterations: opts.Iterations, Seed: 1, NoCache: true},
 						Scenario:    scenario.FailNIC,
 					})
 				case round%8 == 7:
@@ -276,7 +303,7 @@ func (c *client) measure(n int, opts BenchOptions) (QPSPoint, error) {
 				default:
 					_, _, err = c.post("/v1/iter", QueryConfig{
 						Fabric: "fat-tree", Iterations: opts.Iterations,
-						Seed: int64(1 + (w+round)%4),
+						Seed: int64(1 + (w+round)%4), NoCache: true,
 					})
 				}
 				if err != nil {

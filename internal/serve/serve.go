@@ -35,6 +35,11 @@ type QueryConfig struct {
 	ReconfigDelaySec float64 `json:"reconfig_delay_sec,omitempty"`
 	Fold             bool    `json:"fold,omitempty"`
 	Overlap          string  `json:"overlap,omitempty"`
+	// NoCache bypasses the served result cache for this query: the engine
+	// runs even when a byte-identical result is cached. Not part of the
+	// cache key — results are keyed on the simulation configuration alone,
+	// which NoCache does not affect.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 func (q QueryConfig) scenarioConfig() scenario.Config {
@@ -62,8 +67,9 @@ type costQuery struct {
 // Meta carries per-query serving metadata alongside the result. Only the
 // result is deterministic; Meta is volatile (latency, cache warmth).
 type Meta struct {
-	Warm       bool                 `json:"warm"`        // engine came from the pool
-	EngineMemo collective.MemoStats `json:"engine_memo"` // engine's cumulative compile-cache counters
+	Warm       bool                 `json:"warm"`             // engine came from the pool
+	Cached     bool                 `json:"cached,omitempty"` // result replayed from the result cache, no engine ran
+	EngineMemo collective.MemoStats `json:"engine_memo"`      // engine's cumulative compile-cache counters
 	ElapsedSec float64              `json:"elapsed_sec"`
 }
 
@@ -99,6 +105,12 @@ type Server struct {
 	baseMu    sync.Mutex
 	baselines map[string]*baselineCell
 	baseOrder []string // LRU order, oldest first; len == len(baselines)
+
+	resMu    sync.Mutex
+	results  map[string]json.RawMessage
+	resOrder []string // LRU order, oldest first; len == len(results)
+
+	rcacheHits, rcacheMisses, rcacheEvictions atomic.Uint64
 }
 
 // baselineCap bounds the baseline cache: distinct (shape, seed,
@@ -106,6 +118,13 @@ type Server struct {
 // pool's idle bound and the memo's entry cap, it keeps a long-running
 // service with an open-ended query mix from growing without bound.
 const baselineCap = 128
+
+// resultCap bounds the served result cache: fully identical queries replay
+// the stored result bytes instead of re-simulating. Results are
+// deterministic — the simulation's output is a pure function of the
+// canonical configuration — so replay is always correct; the cap only
+// bounds memory.
+const resultCap = 128
 
 // baselineCell memoizes one clean-run measurement (shape+seed+iterations)
 // shared by every failure drill against that configuration. Only
@@ -134,7 +153,63 @@ func New(opts Options) *Server {
 		timeout:   opts.Timeout,
 		start:     time.Now(),
 		baselines: make(map[string]*baselineCell),
+		results:   make(map[string]json.RawMessage),
 	}
+}
+
+// cachedResult looks up the stored response bytes for one canonical query
+// key and refreshes its LRU position.
+func (s *Server) cachedResult(key string) (json.RawMessage, bool) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	raw, ok := s.results[key]
+	if !ok {
+		return nil, false
+	}
+	for i, k := range s.resOrder {
+		if k == key {
+			s.resOrder = append(s.resOrder[:i], s.resOrder[i+1:]...)
+			break
+		}
+	}
+	s.resOrder = append(s.resOrder, key)
+	return raw, true
+}
+
+// resultKey canonicalizes a query for the result cache: the endpoint name
+// plus the canonical configuration bytes (defaults applied), so two
+// requests describing the same run — spelled differently — share one entry.
+// An unmarshalable configuration yields "" and is never cached.
+func resultKey(endpoint string, cfg scenario.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	return endpoint + "|" + string(b)
+}
+
+// storeResult marshals a fresh result once and caches the bytes under the
+// canonical query key; the returned RawMessage is what the handler writes,
+// so a later cache hit replays the response byte-identically. Marshal
+// failures fall through to the caller's value (never cached).
+func (s *Server) storeResult(key string, v any) any {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return v
+	}
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if _, ok := s.results[key]; !ok {
+		s.resOrder = append(s.resOrder, key)
+		for len(s.resOrder) > resultCap {
+			old := s.resOrder[0]
+			s.resOrder = s.resOrder[1:]
+			delete(s.results, old)
+			s.rcacheEvictions.Add(1)
+		}
+	}
+	s.results[key] = raw
+	return json.RawMessage(raw)
 }
 
 // Pool returns the server's engine pool (selftest reads its counters).
@@ -185,19 +260,31 @@ func (s *Server) Handler() http.Handler {
 // http.Server.Shutdown for a graceful stop.
 func (s *Server) Drain() { s.wg.Wait() }
 
+// ResultCacheStats counts served result-cache traffic.
+type ResultCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
 // StatsCounters is the /v1/stats payload.
 type StatsCounters struct {
-	UptimeSec float64              `json:"uptime_sec"`
-	Queries   uint64               `json:"queries"`
-	Timeouts  uint64               `json:"timeouts"`
-	Errors    uint64               `json:"errors"`
-	Pool      PoolStats            `json:"pool"`
-	Memo      collective.MemoStats `json:"memo"`
+	UptimeSec   float64              `json:"uptime_sec"`
+	Queries     uint64               `json:"queries"`
+	Timeouts    uint64               `json:"timeouts"`
+	Errors      uint64               `json:"errors"`
+	Pool        PoolStats            `json:"pool"`
+	Memo        collective.MemoStats `json:"memo"`
+	ResultCache ResultCacheStats     `json:"result_cache"`
 }
 
 // StatsSnapshot assembles the live service counters; all reads are
 // race-free (atomics or mutex-guarded snapshots).
 func (s *Server) StatsSnapshot() StatsCounters {
+	s.resMu.Lock()
+	entries := len(s.results)
+	s.resMu.Unlock()
 	return StatsCounters{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Queries:   s.queries.Load(),
@@ -205,6 +292,12 @@ func (s *Server) StatsSnapshot() StatsCounters {
 		Errors:    s.errors.Load(),
 		Pool:      s.pool.Stats(),
 		Memo:      s.pool.MemoStats(),
+		ResultCache: ResultCacheStats{
+			Hits:      s.rcacheHits.Load(),
+			Misses:    s.rcacheMisses.Load(),
+			Evictions: s.rcacheEvictions.Load(),
+			Entries:   entries,
+		},
 	}
 }
 
@@ -283,6 +376,14 @@ func (s *Server) do(w http.ResponseWriter, r *http.Request, fn func() (any, Meta
 // the batch run; only the engine may come warm from the pool.
 func (s *Server) runIter(q QueryConfig) (any, Meta, error) {
 	cfg := q.scenarioConfig().WithDefaults()
+	key := resultKey("iter", cfg)
+	if !q.NoCache && key != "" {
+		if raw, ok := s.cachedResult(key); ok {
+			s.rcacheHits.Add(1)
+			return raw, Meta{Cached: true}, nil
+		}
+		s.rcacheMisses.Add(1)
+	}
 	lease, err := s.pool.Acquire(cfg)
 	if err != nil {
 		// Engine construction only fails on configuration the query chose
@@ -302,6 +403,9 @@ func (s *Server) runIter(q QueryConfig) (any, Meta, error) {
 	lease.Release(err != nil)
 	if err != nil {
 		return nil, meta, err
+	}
+	if !q.NoCache && key != "" {
+		return s.storeResult(key, res), meta, nil
 	}
 	return res, meta, nil
 }
@@ -338,6 +442,14 @@ func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
 		cfg.FirstA2A = "copilot"
 	}
 	cfg = cfg.WithDefaults()
+	key := resultKey("failure|"+q.Scenario, cfg)
+	if !q.NoCache && key != "" {
+		if raw, ok := s.cachedResult(key); ok {
+			s.rcacheHits.Add(1)
+			return raw, Meta{Cached: true}, nil
+		}
+		s.rcacheMisses.Add(1)
+	}
 
 	clean, meta, err := s.baseline(cfg)
 	if err != nil {
@@ -368,6 +480,9 @@ func (s *Server) runFailure(q failureQuery) (any, Meta, error) {
 	res.MeanIterTime = trainsim.MeanIterTime(stats)
 	if res.BaselineIterTime > 0 {
 		res.Overhead = res.MeanIterTime/res.BaselineIterTime - 1
+	}
+	if !q.NoCache && key != "" {
+		return s.storeResult(key, res), meta, nil
 	}
 	return res, meta, nil
 }

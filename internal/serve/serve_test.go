@@ -396,6 +396,100 @@ func TestBaselineCacheBoundAndRetry(t *testing.T) {
 	}
 }
 
+// TestResultCache: a fully identical query replays the stored response
+// byte-identically with meta marked cached; differently spelled defaults
+// share the entry; no_cache bypasses replay but still matches bitwise.
+func TestResultCache(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{Pool: NewPool(2, 0, 0), Workers: 2})
+	c, done := testClient(t, srv)
+	defer done()
+
+	q := QueryConfig{Fabric: "fat-tree", Iterations: 2, Seed: 5}
+	cold, coldMeta, err := c.post("/v1/iter", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldMeta.Cached {
+		t.Fatal("first query reported a cache hit")
+	}
+	hit, hitMeta, err := c.post("/v1/iter", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hitMeta.Cached {
+		t.Fatal("identical query missed the result cache")
+	}
+	if !bytes.Equal(hit, cold) {
+		t.Fatalf("cached replay diverged:\n cold %s\n hit  %s", cold, hit)
+	}
+	// Spelled-out defaults canonicalize onto the same entry.
+	spelled := q
+	spelled.Model, spelled.FirstA2A, spelled.LinkGbps, spelled.DP = "Mixtral 8x7B", "block", 400, 1
+	hit2, meta2, err := c.post("/v1/iter", spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta2.Cached || !bytes.Equal(hit2, cold) {
+		t.Fatalf("spelled-out defaults did not share the cache entry (cached=%v)", meta2.Cached)
+	}
+	// no_cache runs the engine; the result must still match bitwise.
+	nc := q
+	nc.NoCache = true
+	fresh, freshMeta, err := c.post("/v1/iter", nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshMeta.Cached {
+		t.Fatal("no_cache query reported a cache hit")
+	}
+	if !bytes.Equal(fresh, cold) {
+		t.Fatal("no_cache rerun diverged from the cached result")
+	}
+	// Failure drills cache too, keyed by scenario.
+	fq := failureQuery{QueryConfig: q, Scenario: scenario.FailNIC}
+	d1, dMeta1, err := c.post("/v1/failure", fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, dMeta2, err := c.post("/v1/failure", fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dMeta1.Cached || !dMeta2.Cached || !bytes.Equal(d1, d2) {
+		t.Fatalf("drill caching wrong: first cached=%v second cached=%v", dMeta1.Cached, dMeta2.Cached)
+	}
+	st := srv.StatsSnapshot()
+	if st.ResultCache.Hits < 3 || st.ResultCache.Misses < 2 || st.ResultCache.Entries < 2 {
+		t.Fatalf("cache counters off: %+v", st.ResultCache)
+	}
+}
+
+// TestResultCacheBound: the LRU never grows past resultCap.
+func TestResultCacheBound(t *testing.T) {
+	t.Parallel()
+	srv := New(Options{})
+	for i := 0; i < resultCap+16; i++ {
+		srv.storeResult(fmt.Sprintf("synthetic-%d", i), i)
+	}
+	srv.resMu.Lock()
+	n, ord := len(srv.results), len(srv.resOrder)
+	srv.resMu.Unlock()
+	if n != resultCap || ord != resultCap {
+		t.Fatalf("result cache grew past the bound: %d entries, %d order entries", n, ord)
+	}
+	if ev := srv.rcacheEvictions.Load(); ev != 16 {
+		t.Fatalf("evictions = %d, want 16", ev)
+	}
+	// The freshest entries survive.
+	if _, ok := srv.cachedResult(fmt.Sprintf("synthetic-%d", resultCap+15)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := srv.cachedResult("synthetic-0"); ok {
+		t.Fatal("oldest entry survived past the cap")
+	}
+}
+
 // TestServeHTTPErrors: malformed and invalid queries fail loudly with the
 // right status codes; the health and stats endpoints respond.
 func TestServeHTTPErrors(t *testing.T) {

@@ -1,0 +1,117 @@
+package tenancy
+
+import "fmt"
+
+// Circuit arbiter: MixNet's per-region OCS domains reconfigure
+// independently, but the control plane that executes reconfigurations —
+// the central controller issuing circuit programs — is shared across
+// tenants. The arbiter models that shared resource as S concurrent
+// reconfiguration slots: each co-sim round, the w-th reconfiguration
+// request of every tenant forms wave w, and a wave's requests are granted
+// in policy order onto the least-loaded slot. A tenant's wait (the time
+// its request sat in the grant queue behind other tenants' in-flight
+// reconfigurations) is charged to its iteration as extra blocked time via
+// trainsim.Engine.ChargeExtraBlocked. Waves are independent — between
+// consecutive reconfigurations of one tenant lies a full layer of compute
+// and communication, long against the reconfiguration delay itself.
+//
+// Everything is deterministic: waits depend only on the canonical tenant
+// order, the per-tenant delay logs, the policy and the round counter (the
+// fair policy rotates which tenant is granted first). Unlimited slots — or
+// at least as many slots as requesters — yield zero waits, reproducing the
+// unarbitrated co-sim bitwise.
+
+// Arbitration policies.
+const (
+	// PolicyFair rotates the first grant across tenants wave by wave and
+	// round by round, equalising queue positions over time.
+	PolicyFair = "fair"
+	// PolicyPriority always grants in canonical tenant order: earlier
+	// tenants never wait behind later ones.
+	PolicyPriority = "priority"
+)
+
+// Policies lists the recognised arbitration policies.
+func Policies() []string { return []string{PolicyFair, PolicyPriority} }
+
+// Arbiter prices cross-tenant contention for the shared reconfiguration
+// control plane. The zero value is unusable; NewArbiter validates.
+type Arbiter struct {
+	Slots  int
+	Policy string
+
+	round  int
+	free   []float64
+	waits  []float64
+	active []int
+}
+
+// NewArbiter returns an arbiter with S concurrent reconfiguration slots
+// (S >= 1) under the named policy.
+func NewArbiter(slots int, policy string) (*Arbiter, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("tenancy: arbiter needs >= 1 slot, got %d", slots)
+	}
+	switch policy {
+	case PolicyFair, PolicyPriority:
+	default:
+		return nil, fmt.Errorf("tenancy: unknown arbiter policy %q (have %v)", policy, Policies())
+	}
+	return &Arbiter{Slots: slots, Policy: policy}, nil
+}
+
+// Round prices one co-sim round: logs[t] is tenant t's reconfiguration
+// delay sequence (trainsim.Engine.ReconfigDelays), tenants in canonical
+// order. Returns each tenant's summed grant-queue wait in seconds; the
+// slice is arbiter-owned scratch, valid until the next Round.
+func (a *Arbiter) Round(logs [][]float64) []float64 {
+	n := len(logs)
+	if cap(a.waits) < n {
+		a.waits = make([]float64, n)
+		a.active = make([]int, 0, n)
+	}
+	waits := a.waits[:n]
+	for i := range waits {
+		waits[i] = 0
+	}
+	if cap(a.free) < a.Slots {
+		a.free = make([]float64, a.Slots)
+	}
+	free := a.free[:a.Slots]
+	maxWaves := 0
+	for _, l := range logs {
+		if len(l) > maxWaves {
+			maxWaves = len(l)
+		}
+	}
+	for w := 0; w < maxWaves; w++ {
+		active := a.active[:0]
+		for t := 0; t < n; t++ {
+			if w < len(logs[t]) {
+				active = append(active, t)
+			}
+		}
+		for i := range free {
+			free[i] = 0
+		}
+		start := 0
+		if a.Policy == PolicyFair && len(active) > 0 {
+			start = (a.round + w) % len(active)
+		}
+		for i := 0; i < len(active); i++ {
+			t := active[(start+i)%len(active)]
+			s := 0
+			for j := 1; j < len(free); j++ {
+				if free[j] < free[s] {
+					s = j
+				}
+			}
+			// The request waits until the least-loaded slot frees, then
+			// occupies it for the reconfiguration's duration.
+			waits[t] += free[s]
+			free[s] += logs[t][w]
+		}
+	}
+	a.round++
+	return waits
+}

@@ -14,10 +14,15 @@ type Tenant struct {
 	Regions []int
 }
 
-// IsolateTenants validates that the tenants partition disjoint regions and
-// tears down any circuit whose endpoints belong to different tenants
-// (cross-tenant circuits cannot exist under isolation; intra-tenant
-// circuits are preserved). It returns the number of circuits removed.
+// IsolateTenants validates that the tenants claim disjoint regions and
+// tears down every circuit that would leak optical capacity across an
+// isolation boundary: circuits whose endpoints belong to different tenants,
+// and circuits between a claimed region and the unclaimed remainder — an
+// isolated tenant must not share OCS bandwidth with fabric nobody owns any
+// more than with a neighbour. Intra-tenant circuits are preserved, and so
+// are circuits wholly inside the unclaimed remainder (isolation never
+// degrades the leftover pool's own connectivity). It returns the number of
+// circuits removed.
 func (c *Cluster) IsolateTenants(tenants []Tenant) (int, error) {
 	owner := map[int]int{} // region -> tenant index
 	for ti, t := range tenants {
@@ -40,7 +45,9 @@ func (c *Cluster) IsolateTenants(tenants []Tenant) (int, error) {
 		for i, p := range rc.pairs {
 			ta, okA := owner[c.G.Node(p.A).Region]
 			tb, okB := owner[c.G.Node(p.B).Region]
-			cross := okA && okB && ta != tb
+			// Keep only same-tenant circuits and circuits wholly in the
+			// unclaimed remainder; everything else crosses a boundary.
+			cross := (okA || okB) && !(okA && okB && ta == tb)
 			if cross {
 				// Tear down both directed links of the circuit.
 				for _, id := range rc.linkIDs[2*i : 2*i+2] {

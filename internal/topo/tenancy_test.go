@@ -36,6 +36,44 @@ func TestIsolateTenantsRemovesCrossCircuits(t *testing.T) {
 	}
 }
 
+// TestIsolateTenantsUnclaimedBoundary: a circuit between a claimed region
+// and the unclaimed remainder is torn down (tenants share no optical
+// capacity with unowned fabric), while circuits wholly inside the
+// unclaimed remainder survive untouched.
+func TestIsolateTenantsUnclaimedBoundary(t *testing.T) {
+	c := BuildMixNet(DefaultSpec(32, 100*Gbps)) // 4 regions of 8 servers
+	// Region 0 claimed; regions 1..3 left unclaimed. Install one
+	// claimed↔unclaimed circuit (region 0's table) and one circuit between
+	// two unclaimed regions (region 2's table).
+	leak := CircuitPair{A: c.Servers[0].OCSNICs()[5].Node, B: c.Servers[8].OCSNICs()[5].Node}
+	if err := c.SetRegionCircuits(0, append(c.RegionCircuits(0), leak)); err != nil {
+		t.Fatal(err)
+	}
+	free := CircuitPair{A: c.Servers[16].OCSNICs()[5].Node, B: c.Servers[24].OCSNICs()[5].Node}
+	if err := c.SetRegionCircuits(2, append(c.RegionCircuits(2), free)); err != nil {
+		t.Fatal(err)
+	}
+	before2 := len(c.RegionCircuits(2))
+	removed, err := c.IsolateTenants([]Tenant{{Name: "solo", Regions: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("removed %d circuits, want 1 (the claimed↔unclaimed leak)", removed)
+	}
+	for _, p := range c.RegionCircuits(0) {
+		if c.G.Nodes[p.A].Region != c.G.Nodes[p.B].Region {
+			t.Error("claimed↔unclaimed circuit survived isolation")
+		}
+	}
+	if got := len(c.RegionCircuits(2)); got != before2 {
+		t.Errorf("unclaimed remainder lost circuits: %d -> %d", before2, got)
+	}
+	if err := c.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIsolateTenantsValidation(t *testing.T) {
 	c := BuildMixNet(DefaultSpec(16, 100*Gbps))
 	if _, err := c.IsolateTenants([]Tenant{{Name: "x", Regions: []int{9}}}); err == nil {

@@ -69,6 +69,8 @@ func (e *Engine) PrepareRun(gateSeed int64) error {
 	e.nextIt = nil
 	e.prefix = prefixSteps{c: -1, b: -1, a: -1}
 	e.carry = prefixCarry{}
+	e.pend = pendingIter{}
+	e.reconfigLog = e.reconfigLog[:0]
 	e.ctx.ResetRunState()
 	return nil
 }

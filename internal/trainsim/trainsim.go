@@ -118,6 +118,14 @@ type Options struct {
 	//     with the DP all-reduce in one backend drain), and only the DP
 	//     residual that the prefetched window cannot hide is charged.
 	Overlap string
+	// BaseServer and Servers place the job on the server slice
+	// [BaseServer, BaseServer+Servers) instead of the whole cluster, so
+	// several engines can share one fabric (internal/tenancy). Servers == 0
+	// keeps the historical whole-cluster placement (BaseServer must then be
+	// 0). On reconfigurable fabrics the slice must be region-aligned:
+	// BaseServer a multiple of Spec.RegionServers.
+	BaseServer int
+	Servers    int
 }
 
 // overlapMode is Options.Overlap parsed.
@@ -214,6 +222,28 @@ type Engine struct {
 	nextIt  *moe.Iteration
 	prefix  prefixSteps
 	carry   prefixCarry
+
+	// pend carries pass-1 state from BeginIteration to FinishIteration so a
+	// multi-job scheduler (internal/tenancy) can execute several engines'
+	// plans in one merged drain between the two calls.
+	pend pendingIter
+
+	// reconfigLog records the raw sampled delay of every OCS reconfiguration
+	// the current iteration's build pass performed, in apply order — the
+	// occupancy trace a cross-tenant circuit arbiter prices contention from.
+	// Reset by BeginIteration; see ReconfigDelays.
+	reconfigLog []float64
+}
+
+// pendingIter is the build-pass state FinishIteration's accounting needs.
+type pendingIter struct {
+	valid        bool
+	stats        IterStats
+	bwdLo, bwdHi int
+	dpStep       int
+	// extraBlocked is externally imposed blocking (a tenancy arbiter's
+	// reconfiguration-window wait) added to the iteration's Blocked and Time.
+	extraBlocked float64
 }
 
 // prefixSteps indexes the rolling window's next-iteration steps inside the
@@ -289,7 +319,15 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 	if !opts.Fold && cluster.Folded() {
 		cluster.MaterializeAll()
 	}
-	place, err := parallel.NewPlacement(cluster, plan)
+	if opts.Servers == 0 && opts.BaseServer != 0 {
+		return nil, fmt.Errorf("trainsim: BaseServer=%d without Servers (whole-cluster placements start at 0)",
+			opts.BaseServer)
+	}
+	servers := opts.Servers
+	if servers == 0 {
+		servers = len(cluster.Servers)
+	}
+	place, err := parallel.NewPlacementAt(cluster, plan, opts.BaseServer, servers)
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +376,10 @@ func New(m moe.Model, plan moe.TrainPlan, cluster *topo.Cluster, opts Options) (
 		if cluster.Spec.RegionServers != span {
 			return nil, fmt.Errorf("trainsim: region size %d does not match EP-group span %d servers",
 				cluster.Spec.RegionServers, span)
+		}
+		if opts.BaseServer%cluster.Spec.RegionServers != 0 {
+			return nil, fmt.Errorf("trainsim: server slice base %d not aligned to %d-server regions",
+				opts.BaseServer, cluster.Spec.RegionServers)
 		}
 	}
 	if opts.FirstA2A == FirstA2ACopilot {
@@ -437,7 +479,33 @@ func (e *Engine) planAndApply(demand *metrics.Matrix, servers []int) (float64, e
 		return 0, err
 	}
 	e.reconfigs++
+	e.reconfigLog = append(e.reconfigLog, delay)
 	return delay, nil
+}
+
+// ReconfigDelays returns the raw sampled delay of every reconfiguration the
+// current iteration's build pass applied, in apply order (empty on static
+// fabrics). The slice is engine-owned scratch, valid until the next
+// BeginIteration; internal/tenancy's circuit arbiter reads it between
+// BeginIteration and FinishIteration to price cross-tenant contention for
+// the shared OCS control plane.
+func (e *Engine) ReconfigDelays() []float64 { return e.reconfigLog }
+
+// ChargeExtraBlocked adds externally imposed blocking time — a tenancy
+// arbiter's grant-queue wait for a shared reconfiguration window — to the
+// pending iteration's accounting: FinishIteration folds it into both
+// Blocked and Time. Must be called between BeginIteration and
+// FinishIteration; a zero charge leaves results bit-identical to never
+// calling it.
+func (e *Engine) ChargeExtraBlocked(sec float64) error {
+	if !e.pend.valid {
+		return fmt.Errorf("trainsim: ChargeExtraBlocked without BeginIteration")
+	}
+	if sec < 0 {
+		return fmt.Errorf("trainsim: negative blocked charge %g", sec)
+	}
+	e.pend.extraBlocked += sec
+	return nil
 }
 
 // predictedDemand builds the Copilot demand matrix for layer l from the
@@ -499,6 +567,25 @@ func (e *Engine) predictedDemand(l int, prevLoads []float64) *metrics.Matrix {
 // Reconfigs counts the prefetched reconfiguration in the window that
 // performed it.
 func (e *Engine) RunIteration() (IterStats, error) {
+	if err := e.BeginIteration(); err != nil {
+		return e.pend.stats, err
+	}
+	if err := e.cplan.Execute(e.Cluster.G, e.ctx.Backend(), e.Opts.BatchComm); err != nil {
+		e.pend.valid = false
+		return e.pend.stats, err
+	}
+	return e.FinishIteration()
+}
+
+// BeginIteration runs pass 1 alone: it consumes the next gate outcome and
+// builds the iteration's communication plan without simulating it. The
+// caller must then execute CommPlan() on a backend — RunIteration does so
+// directly; internal/tenancy merges several engines' plans into one fused
+// drain — and call FinishIteration for the accounting. Per-iteration
+// results are byte-identical to RunIteration regardless of how the plan
+// was drained (step results never depend on what shared their batch).
+func (e *Engine) BeginIteration() error {
+	e.pend = pendingIter{bwdLo: -1, bwdHi: -1, dpStep: -1}
 	m, p := e.Model, e.Plan
 	var it *moe.Iteration
 	if e.peeked {
@@ -509,12 +596,14 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		it = e.Gate.Next()
 	}
 	if it == nil || len(it.Layers) < m.Blocks {
-		return IterStats{}, fmt.Errorf("trainsim: iteration source yielded %d layers, need %d",
+		return fmt.Errorf("trainsim: iteration source yielded %d layers, need %d",
 			lenLayers(it), m.Blocks)
 	}
-	stats := IterStats{Iter: e.iter}
+	stats := &e.pend.stats
+	stats.Iter = e.iter
 	e.iter++
 	e.reconfigs = 0
+	e.reconfigLog = e.reconfigLog[:0]
 
 	_, servers := e.leaderGPUs()
 	liMax := dag.LayersPerStageMax(m.Blocks, p.PP)
@@ -550,7 +639,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 				case FirstA2ABlock:
 					delay, err := e.planAndApply(d, servers)
 					if err != nil {
-						return stats, err
+						return err
 					}
 					rec.block1 = delay
 				case FirstA2AReuse:
@@ -569,7 +658,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 					}
 					delay, err := e.planAndApply(planD, servers)
 					if err != nil {
-						return stats, err
+						return err
 					}
 					// Proactive: reconfiguration hides under the previous
 					// layer's computation unless it exceeds that window.
@@ -600,7 +689,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		} else {
 			phases1, err := e.compileA2A(d)
 			if err != nil {
-				return stats, err
+				return err
 			}
 			rec.a2a1 = e.cplan.Add(commplan.KindA2A1, li, phases1, 0)
 		}
@@ -616,7 +705,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 			// expert computation (§5.1).
 			delay, err := e.planAndApply(d, servers)
 			if err != nil {
-				return stats, err
+				return err
 			}
 			if delay > rec.pt.Expert {
 				rec.penalty2 = delay - rec.pt.Expert
@@ -646,7 +735,7 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		d.TransposeInto(e.transposeBuf)
 		phases2, err := e.compileA2A(e.transposeBuf)
 		if err != nil {
-			return stats, err
+			return err
 		}
 		rec.a2a2 = e.cplan.Add(commplan.KindA2A2, li, phases2, 0)
 		if barrier2 >= 0 {
@@ -718,12 +807,12 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		e.prevLayer0.CopyFrom(d0)
 		e.havePrev = true
 	}
-	dpStep := -1
 	if p.DP > 1 && !e.Opts.DisableDP {
-		var err error
-		if dpStep, err = e.compileDPAllReduce(); err != nil {
-			return stats, err
+		dpStep, err := e.compileDPAllReduce()
+		if err != nil {
+			return err
 		}
+		e.pend.dpStep = dpStep
 	}
 
 	// Overlap "iter": peek the next gate outcome and append its layer-0
@@ -734,14 +823,28 @@ func (e *Engine) RunIteration() (IterStats, error) {
 	e.prefix = prefixSteps{c: -1, b: -1, a: -1}
 	if e.overlap == overlapIter {
 		if err := e.buildPrefix(servers, stageLayers); err != nil {
-			return stats, err
+			return err
 		}
 	}
+	e.pend.bwdLo, e.pend.bwdHi = bwdLo, bwdHi
+	e.pend.valid = true
+	return nil
+}
 
-	// Pass 2: simulate the plan.
-	if err := e.cplan.Execute(e.Cluster.G, e.ctx.Backend(), e.Opts.BatchComm); err != nil {
-		return stats, err
+// FinishIteration runs pass 3 after the plan built by BeginIteration was
+// executed on a backend: it patches the overlap echoes from the measured
+// makespans, captures the rolling-window carry, and folds the per-step
+// makespans into the iteration's accounting. Exactly one FinishIteration
+// must follow each BeginIteration.
+func (e *Engine) FinishIteration() (IterStats, error) {
+	if !e.pend.valid {
+		return IterStats{}, fmt.Errorf("trainsim: FinishIteration without BeginIteration")
 	}
+	e.pend.valid = false
+	m, p := e.Model, e.Plan
+	stats := &e.pend.stats
+	bwdLo, bwdHi, dpStep := e.pend.bwdLo, e.pend.bwdHi, e.pend.dpStep
+	ov := e.overlap != overlapNone
 	ms := e.ctx.MemoStats()
 	e.cplan.SetCompileStats(ms.Hits, ms.Misses, ms.Bypasses, e.Cluster.FoldFactor())
 	if ov {
@@ -821,7 +924,11 @@ func (e *Engine) RunIteration() (IterStats, error) {
 		}
 		stats.Time += dpCharge
 	}
-	return stats, nil
+	if e.pend.extraBlocked > 0 {
+		stats.Blocked += e.pend.extraBlocked
+		stats.Time += e.pend.extraBlocked
+	}
+	return e.pend.stats, nil
 }
 
 // buildPrefix peeks the next gate outcome and appends its layer-0 prefix —
@@ -892,7 +999,7 @@ func (e *Engine) buildPrefix(servers []int, stageLayers []int) error {
 // the step ID, or -1 when the configuration has nothing to reduce.
 func (e *Engine) compileDPAllReduce() (int, error) {
 	p := e.Plan
-	serversPerReplica := len(e.Cluster.Servers) / p.DP
+	serversPerReplica := e.Place.NumServers() / p.DP
 	if serversPerReplica == 0 {
 		return -1, nil
 	}
@@ -901,7 +1008,7 @@ func (e *Engine) compileDPAllReduce() (int, error) {
 	for k := 0; k < serversPerReplica; k++ {
 		group := make([]int, p.DP)
 		for d := 0; d < p.DP; d++ {
-			group[d] = d*serversPerReplica + k
+			group[d] = e.Place.Base() + d*serversPerReplica + k
 		}
 		phases, err := collective.HierarchicalAllReduce(e.ctx, group, 0, perServer)
 		if err != nil {
